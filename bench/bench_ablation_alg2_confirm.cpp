@@ -1,0 +1,79 @@
+// Ablation: the one place this reproduction deviates from Algorithm 2 as
+// printed (DESIGN.md section 5.1). The paper's server updates only the
+// values in the reader's valQueue; the proofs of Lemma 5 (MWA2) and Lemma 8
+// need the server to also confirm the reader on every value it reports.
+//
+// This binary runs the same heavy-reordering workloads against both server
+// variants and counts machine-checked atomicity violations: the literal
+// variant loses MWA2 (reads returning tags older than completed writes),
+// the clarified variant never does.
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "consistency/checkers.h"
+#include "core/harness.h"
+#include "core/workload.h"
+#include "protocols/protocols.h"
+
+namespace mwreg {
+namespace {
+
+struct AblationStats {
+  int runs = 0;
+  int violations = 0;
+  std::string example;
+};
+
+AblationStats sweep(const char* proto, int seeds) {
+  AblationStats st;
+  for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(seeds); ++seed) {
+    SimHarness::Options o;
+    o.cfg = ClusterConfig{7, 2, 4, 1};  // feasible: (4+2)*1 < 7
+    o.seed = seed;
+    // Heavy-tailed, strongly reordering delays.
+    o.delay = std::make_unique<LogNormalDelay>(2 * kMillisecond, 1.5);
+    SimHarness h(*protocol_by_name(proto), std::move(o));
+    WorkloadOptions w;
+    w.ops_per_writer = 15;
+    w.ops_per_reader = 15;
+    run_random_workload(h, w);
+    ++st.runs;
+    const CheckResult r = check_tag_witness(h.history());
+    if (!r.atomic) {
+      ++st.violations;
+      if (st.example.empty()) st.example = r.violation;
+    }
+  }
+  return st;
+}
+
+void report() {
+  using bench::header;
+  using bench::row;
+  header("Ablation: Algorithm 2 server -- confirm reader on reported values?");
+  const std::vector<int> w{30, 8, 12, 60};
+  row({"server variant", "runs", "violations", "first violation"}, w);
+  const AblationStats fixed = sweep("fast-read-mw(W2R1)", 30);
+  row({"clarified (this repo)", std::to_string(fixed.runs),
+       std::to_string(fixed.violations), fixed.example}, w);
+  const AblationStats literal = sweep("fast-read-mw-literal(W2R1)", 30);
+  row({"literal pseudocode", std::to_string(literal.runs),
+       std::to_string(literal.violations), literal.example.substr(0, 58)}, w);
+  std::printf(
+      "\nExpected shape: zero violations for the clarified server; the\n"
+      "literal variant loses MWA2 under heavy reordering because a freshly\n"
+      "written value superseded at a server never collects the reader\n"
+      "witness that Lemma 5's degree-2 admissibility argument requires.\n");
+}
+
+void BM_ClarifiedServerWorkload(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sweep("fast-read-mw(W2R1)", 2).runs);
+  }
+}
+BENCHMARK(BM_ClarifiedServerWorkload);
+
+}  // namespace
+}  // namespace mwreg
+
+MWREG_BENCH_MAIN(mwreg::report)

@@ -1,0 +1,108 @@
+// Algorithm 1 & 2 (Appendix A): scaling of the paper's W2R1 implementation.
+// Throughput/latency versus cluster size and reader count, with every
+// history machine-checked, plus the cost drivers specific to the algorithm
+// (valQueue growth, admissibility search).
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "consistency/checkers.h"
+#include "core/harness.h"
+#include "core/workload.h"
+#include "protocols/protocols.h"
+
+namespace mwreg {
+namespace {
+
+struct RunStats {
+  LatencyStats write, read;
+  bool atomic = false;
+  double msgs_per_op = 0;
+};
+
+RunStats run_cell(ClusterConfig cfg, int ops, std::uint64_t seed) {
+  SimHarness::Options o;
+  o.cfg = cfg;
+  o.seed = seed;
+  o.delay = std::make_unique<UniformDelay>(1 * kMillisecond, 5 * kMillisecond);
+  SimHarness h(*protocol_by_name("fast-read-mw(W2R1)"), std::move(o));
+  WorkloadOptions w;
+  w.ops_per_writer = ops;
+  w.ops_per_reader = ops;
+  run_random_workload(h, w);
+  RunStats rs;
+  rs.write = latency_of(h.history(), OpKind::kWrite);
+  rs.read = latency_of(h.history(), OpKind::kRead);
+  rs.atomic = check_tag_witness(h.history()).atomic;
+  rs.msgs_per_op = static_cast<double>(h.net().stats().sent) /
+                   static_cast<double>(h.history().completed_count());
+  return rs;
+}
+
+void report() {
+  using bench::fmt;
+  using bench::header;
+  using bench::row;
+  const std::vector<int> w{22, 12, 12, 12, 12, 11, 8};
+
+  header("Algorithm 1 & 2 scaling: S sweep (t=1, W=2, R=2, 25 ops/client)");
+  row({"cluster", "write p50", "write p99", "read p50", "read p99",
+       "msgs/op", "atomic"},
+      w);
+  for (int S : {5, 7, 9, 12, 16}) {
+    const ClusterConfig cfg{S, 2, 2, 1};
+    const RunStats rs = run_cell(cfg, 25, 7);
+    row({cfg.to_string(), fmt(rs.write.p50_ms) + "ms", fmt(rs.write.p99_ms) + "ms",
+         fmt(rs.read.p50_ms) + "ms", fmt(rs.read.p99_ms) + "ms",
+         fmt(rs.msgs_per_op, 1), rs.atomic ? "yes" : "NO!"},
+        w);
+  }
+
+  header("Algorithm 1 & 2 scaling: R sweep (t=1, W=2, S = (R+3)t so R < S/t-2)");
+  row({"cluster", "write p50", "write p99", "read p50", "read p99",
+       "msgs/op", "atomic"},
+      w);
+  for (int R : {2, 3, 4, 5, 6}) {
+    const ClusterConfig cfg{R + 3, 2, R, 1};
+    const RunStats rs = run_cell(cfg, 20, 9);
+    row({cfg.to_string(), fmt(rs.write.p50_ms) + "ms", fmt(rs.write.p99_ms) + "ms",
+         fmt(rs.read.p50_ms) + "ms", fmt(rs.read.p99_ms) + "ms",
+         fmt(rs.msgs_per_op, 1), rs.atomic ? "yes" : "NO!"},
+        w);
+  }
+  std::printf(
+      "\nExpected shape: read latency stays ~1 RTT (half the write's 2 RTT)\n"
+      "at every scale; messages/op grows linearly in S (client-server only,\n"
+      "no server-to-server traffic); all histories atomic below the bound.\n");
+}
+
+void BM_W2R1Workload(benchmark::State& state) {
+  const int S = static_cast<int>(state.range(0));
+  const ClusterConfig cfg{S, 2, 2, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_cell(cfg, 10, 3).atomic);
+  }
+  state.SetItemsProcessed(state.iterations() * 40);
+}
+BENCHMARK(BM_W2R1Workload)->Arg(5)->Arg(9)->Arg(16);
+
+void BM_W2R1ReadHeavy(benchmark::State& state) {
+  const ClusterConfig cfg{9, 1, 4, 1};
+  for (auto _ : state) {
+    SimHarness::Options o;
+    o.cfg = cfg;
+    o.seed = 5;
+    SimHarness h(*protocol_by_name("fast-read-mw(W2R1)"), std::move(o));
+    WorkloadOptions w;
+    w.ops_per_writer = 5;
+    w.ops_per_reader = 40;
+    run_random_workload(h, w);
+    benchmark::DoNotOptimize(h.history().completed_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 165);
+}
+BENCHMARK(BM_W2R1ReadHeavy);
+
+}  // namespace
+}  // namespace mwreg
+
+MWREG_BENCH_MAIN(mwreg::report)

@@ -1,0 +1,103 @@
+// Fig. 2: the latency/consistency Hasse diagram. Fast operations take one
+// round-trip, slow ones two; the diagram orders W1R1 < {W1R2, W2R1} < W2R2
+// by latency. We measure actual operation latency for every protocol under
+// a constant-delay network (where the factor of two is exact) and a
+// geo-replicated delay matrix (where it shows up in the tail).
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "consistency/checkers.h"
+#include "core/harness.h"
+#include "core/workload.h"
+#include "protocols/protocols.h"
+
+namespace mwreg {
+namespace {
+
+struct Cell {
+  const char* proto;
+  ClusterConfig cfg;
+};
+
+const std::vector<Cell>& cells() {
+  // Configurations under which each protocol is atomic.
+  static const std::vector<Cell> kCells{
+      {"fast-swmr(W1R1)", ClusterConfig{7, 1, 3, 1}},
+      {"abd-swmr(W1R2)", ClusterConfig{7, 1, 3, 1}},
+      {"fast-read-mw(W2R1)", ClusterConfig{7, 2, 3, 1}},
+      {"mw-abd(W2R2)", ClusterConfig{7, 2, 3, 1}},
+  };
+  return kCells;
+}
+
+std::unique_ptr<DelayModel> make_geo(const ClusterConfig& cfg) {
+  // Three sites ~ US-East / US-West / EU; servers round-robin across sites,
+  // clients at site 0.
+  std::vector<std::vector<double>> rtt{{2, 70, 90}, {70, 2, 140}, {90, 140, 2}};
+  std::vector<int> site(static_cast<std::size_t>(cfg.total_nodes()), 0);
+  for (int s = 0; s < cfg.s(); ++s) site[static_cast<std::size_t>(s)] = s % 3;
+  return std::make_unique<GeoDelay>(std::move(rtt), std::move(site));
+}
+
+void run_cell(const Cell& c, bool geo, LatencyStats* w_out, LatencyStats* r_out,
+              bool* atomic_out) {
+  SimHarness::Options o;
+  o.cfg = c.cfg;
+  o.seed = 42;
+  o.delay = geo ? make_geo(c.cfg)
+                : std::unique_ptr<DelayModel>(
+                      std::make_unique<ConstantDelay>(25 * kMillisecond));
+  SimHarness h(*protocol_by_name(c.proto), std::move(o));
+  WorkloadOptions w;
+  w.ops_per_writer = 30;
+  w.ops_per_reader = 30;
+  run_random_workload(h, w);
+  *w_out = latency_of(h.history(), OpKind::kWrite);
+  *r_out = latency_of(h.history(), OpKind::kRead);
+  *atomic_out = check_tag_witness(h.history()).atomic;
+}
+
+void report() {
+  using bench::fmt;
+  using bench::header;
+  using bench::row;
+  const std::vector<int> w{22, 12, 12, 12, 12, 9};
+
+  for (const bool geo : {false, true}) {
+    header(std::string("Fig. 2 latency hierarchy -- ") +
+           (geo ? "geo-replicated (3 sites)" : "constant 25ms one-way"));
+    row({"protocol", "write p50", "write p99", "read p50", "read p99",
+         "atomic"},
+        w);
+    for (const Cell& c : cells()) {
+      LatencyStats ws, rs;
+      bool atomic = false;
+      run_cell(c, geo, &ws, &rs, &atomic);
+      row({c.proto, fmt(ws.p50_ms) + "ms", fmt(ws.p99_ms) + "ms",
+           fmt(rs.p50_ms) + "ms", fmt(rs.p99_ms) + "ms",
+           atomic ? "yes" : "NO!"},
+          w);
+    }
+  }
+  std::printf(
+      "\nExpected shape: fast ops take ~1 RTT, slow ops ~2 RTT (exactly 2x\n"
+      "under constant delay); the Hasse order W1R1 < {W1R2, W2R1} < W2R2\n"
+      "holds per column, and every history is atomic in its own cell.\n");
+}
+
+void BM_OperationLatency(benchmark::State& state) {
+  const Cell& c = cells()[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    LatencyStats ws, rs;
+    bool atomic = false;
+    run_cell(c, false, &ws, &rs, &atomic);
+    benchmark::DoNotOptimize(ws.mean_ms + rs.mean_ms);
+  }
+  state.SetLabel(c.proto);
+}
+BENCHMARK(BM_OperationLatency)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+}  // namespace mwreg
+
+MWREG_BENCH_MAIN(mwreg::report)

@@ -1,0 +1,56 @@
+// Figs. 4-5: the horizontal link beta_k ~ gamma_k, built through temp_k.
+// We verify, for every k and every critical-server position, the two
+// indistinguishability claims (reader's view, Fig. 4) by comparing the
+// server-side constructions (Fig. 5) structurally.
+#include "bench/bench_util.h"
+#include "chains/w1r2_engine.h"
+
+namespace mwreg {
+namespace {
+
+void report() {
+  using bench::header;
+  using bench::row;
+  header("Figs. 4-5: horizontal links (R1: beta_k==temp_k, R2: temp_k==gamma_k)");
+  const std::vector<int> w{6, 34, 8};
+  row({"S", "links verified (all i1, stems, k)", "failures"}, w);
+  for (int S : {3, 4, 5, 6, 8, 10}) {
+    int checked = 0, failed = 0;
+    for (const chains::LinkCheck& c : chains::verify_w1r2_construction(S)) {
+      if (c.name.find("temp_k") == std::string::npos &&
+          c.name.find("gamma_k (k+1=i1)") == std::string::npos) {
+        continue;  // horizontal-link checks only
+      }
+      ++checked;
+      failed += !c.ok;
+    }
+    row({std::to_string(S), std::to_string(checked), std::to_string(failed)}, w);
+  }
+  std::printf("\nExpected: zero failures -- R1 never notices R2b moving behind\n"
+              "its back, and R2 never notices R1b leaving a server it skips.\n");
+}
+
+void BM_HorizontalLinkBundle(benchmark::State& state) {
+  const int S = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (int k = 0; k < S; ++k) {
+      benchmark::DoNotOptimize(
+          chains::make_links(S, S / 2, k, 1 + S / 3).gamma.servers.size());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * S);
+}
+BENCHMARK(BM_HorizontalLinkBundle)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_VerifyAllLinks(benchmark::State& state) {
+  const int S = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chains::verify_w1r2_construction(S).size());
+  }
+}
+BENCHMARK(BM_VerifyAllLinks)->Arg(3)->Arg(6)->Arg(10);
+
+}  // namespace
+}  // namespace mwreg
+
+MWREG_BENCH_MAIN(mwreg::report)

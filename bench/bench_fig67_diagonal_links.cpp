@@ -1,0 +1,51 @@
+// Figs. 6-7: the diagonal link beta_{k+1} ~ gamma_k, built through temp'_k
+// and gamma'_k, plus the payoff identity gamma'_k == gamma_k that the
+// "seemingly unnecessary" R1b skip of the horizontal construction enables.
+#include "bench/bench_util.h"
+#include "chains/w1r2_engine.h"
+
+namespace mwreg {
+namespace {
+
+void report() {
+  using bench::header;
+  using bench::row;
+  header("Figs. 6-7: diagonal links (R2: beta_{k+1}==temp'_k, R1: temp'_k==gamma'_k)");
+  const std::vector<int> w{6, 12, 12, 14, 8};
+  row({"S", "diag links", "identities", "special k+1=i1", "failures"}, w);
+  for (int S : {3, 4, 5, 6, 8, 10}) {
+    int diag = 0, ident = 0, special = 0, failed = 0;
+    for (const chains::LinkCheck& c : chains::verify_w1r2_construction(S)) {
+      const bool is_diag = c.name.find("temp'_k") != std::string::npos;
+      const bool is_ident = c.name.find("identical server logs") != std::string::npos;
+      const bool is_special = c.name.find("k+1=i1") != std::string::npos;
+      if (!is_diag && !is_ident && !is_special) continue;
+      diag += is_diag;
+      ident += is_ident;
+      special += is_special;
+      failed += !c.ok;
+    }
+    row({std::to_string(S), std::to_string(diag), std::to_string(ident),
+         std::to_string(special), std::to_string(failed)},
+        w);
+  }
+  std::printf("\nExpected: zero failures, and for every k the executions\n"
+              "gamma_k and gamma'_k coincide log-for-log, closing the zigzag.\n");
+}
+
+void BM_DiagonalLinkBundle(benchmark::State& state) {
+  const int S = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (int k = 0; k < S; ++k) {
+      const chains::LinkBundle b = chains::make_links(S, S / 2, k, 1 + S / 3);
+      benchmark::DoNotOptimize(b.gamma_p.servers == b.gamma.servers);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * S);
+}
+BENCHMARK(BM_DiagonalLinkBundle)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+}  // namespace mwreg
+
+MWREG_BENCH_MAIN(mwreg::report)

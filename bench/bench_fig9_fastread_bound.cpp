@@ -1,0 +1,60 @@
+// Fig. 9 + Section 5: the fast-read feasibility frontier. For a (S, t, R)
+// grid we run the Fig. 9 adversarial schedule against the real Algorithm
+// 1 & 2 and print whether a machine-checked atomicity violation appears.
+// The frontier must fall exactly at R = S/t - 2.
+#include "bench/bench_util.h"
+#include "chains/fastread_adversary.h"
+
+namespace mwreg {
+namespace {
+
+void report() {
+  using bench::header;
+  using bench::row;
+
+  for (const int t : {1, 2}) {
+    header("Fig. 9 frontier, t = " + std::to_string(t) +
+           "  (cells: '.' atomic, 'X' checked violation, '!' mismatch)");
+    std::vector<int> widths{8};
+    std::vector<std::string> head{"S \\ R"};
+    for (int R = 2; R <= 7; ++R) {
+      head.push_back(std::to_string(R));
+      widths.push_back(4);
+    }
+    head.push_back("paper bound R* = S/t - 2");
+    widths.push_back(24);
+    row(head, widths);
+    for (int S = 3 * t + 1; S <= 10 * t && S <= 16; S += t) {
+      std::vector<std::string> cells{std::to_string(S)};
+      for (int R = 2; R <= 7; ++R) {
+        const chains::FastReadAdversaryResult r =
+            chains::run_fastread_adversary(S, t, R);
+        const char* mark = r.violation_found == r.bound_violated
+                               ? (r.violation_found ? "X" : ".")
+                               : "!";
+        cells.push_back(mark);
+      }
+      const double rstar = static_cast<double>(S) / t - 2;
+      cells.push_back(bench::fmt(rstar, 1));
+      row(cells, widths);
+    }
+  }
+  std::printf(
+      "\nExpected shape: every cell with R >= S/t - 2 is 'X' (the Fig. 9\n"
+      "schedule extracts a new/old inversion from Algorithm 1 & 2), every\n"
+      "cell below the bound is '.', and no '!' mismatches appear.\n");
+}
+
+void BM_AdversarySchedule(benchmark::State& state) {
+  const int S = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        chains::run_fastread_adversary(S, 1, S - 2).violation_found);
+  }
+}
+BENCHMARK(BM_AdversarySchedule)->Arg(4)->Arg(6)->Arg(8)->Arg(12);
+
+}  // namespace
+}  // namespace mwreg
+
+MWREG_BENCH_MAIN(mwreg::report)

@@ -1,0 +1,49 @@
+// Shared helpers for the per-table/figure benchmark binaries.
+//
+// Every binary prints the paper artifact it regenerates as a plain-text
+// table (the "rows/series the paper reports"), then runs google-benchmark
+// timings for the machinery involved.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mwreg::bench {
+
+inline void header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void row(const std::vector<std::string>& cells,
+                const std::vector<int>& widths) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const int w = i < widths.size() ? widths[i] : 16;
+    char buf[256];
+    std::snprintf(buf, sizeof buf, "%-*s", w, cells[i].c_str());
+    line += buf;
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+inline std::string fmt(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+/// Standard main: print the report, then run the registered benchmarks.
+#define MWREG_BENCH_MAIN(report_fn)                      \
+  int main(int argc, char** argv) {                      \
+    report_fn();                                         \
+    ::benchmark::Initialize(&argc, argv);                \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();               \
+    ::benchmark::Shutdown();                             \
+    return 0;                                            \
+  }
+
+}  // namespace mwreg::bench

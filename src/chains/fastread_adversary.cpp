@@ -1,0 +1,85 @@
+#include "chains/fastread_adversary.h"
+
+#include <memory>
+
+#include "consistency/checkers.h"
+#include "core/harness.h"
+#include "protocols/protocols.h"
+
+namespace mwreg::chains {
+
+FastReadAdversaryResult run_fastread_adversary(int S, int t, int R,
+                                               std::uint64_t seed) {
+  FastReadAdversaryResult res;
+  res.cfg = ClusterConfig{S, 1, R, t};
+  res.bound_violated = !res.cfg.supports_fast_read();
+
+  const Protocol* proto = protocol_by_name("fast-read-mw(W2R1)");
+  const Duration d = 1 * kMillisecond;
+  SimHarness::Options opts;
+  opts.cfg = res.cfg;
+  opts.seed = seed;
+  opts.delay = std::make_unique<ConstantDelay>(d);
+  SimHarness h(*proto, std::move(opts));
+
+  const NodeId writer = res.cfg.writer_id(0);
+  auto block_replies_from_block = [&](int first, int count, NodeId reader) {
+    for (int sv = first; sv < first + count; ++sv) {
+      h.net().block_link(sv, reader);
+    }
+  };
+
+  // Step 1: the write. Its query round completes (requests out at 0,
+  // delivered at d, acks at 2d); just after the update requests leave (2d)
+  // we cut the writer's links to everything outside B1, confining the new
+  // value to B1 = servers {0..t-1}. The write never completes; its tag is
+  // deterministic on a fresh register: (maxTS + 1, writer) = (1, writer).
+  const OpId wop = h.async_write(0, 42);
+  h.sim().schedule_at(2 * d + 1, [&]() {
+    for (int sv = t; sv < S; ++sv) h.net().block_link(writer, sv);
+  });
+  h.run();
+  const TaggedValue v{Tag{1, writer}, 42};
+  h.history().set_value(wop, v);
+
+  // Step 2: pumping reads by r_1..r_{R-1}. Their requests reach B1 (growing
+  // updated[v] there) but B1's replies are delayed past the read, so each
+  // reader decides from the other S - t servers, returns the old value and
+  // keeps its valQueue clean.
+  for (int i = 0; i + 1 < R; ++i) {
+    block_replies_from_block(0, t, res.cfg.reader_id(i));
+    h.sim().run_until(h.sim().now() + 1);  // strictly separate the operations
+    h.async_read(i);
+    h.run();
+  }
+
+  // Step 3: the flip read by r_R hears B1 (missing the LAST block instead).
+  // It sees v on t servers whose updated sets hold {writer, r_1..r_{R-1}}
+  // plus itself: R+1 clients. admissible(v, R+1) needs S - (R+1)t <= t,
+  // i.e. S <= (R+2)t -- exactly the impossible region.
+  block_replies_from_block(S - t, t, res.cfg.reader_id(R - 1));
+  h.sim().run_until(h.sim().now() + 1);
+  h.async_read(R - 1, [&res](TaggedValue got) { res.flip_read_payload = got.payload; });
+  h.run();
+
+  // Step 4: the stale read: r_1 reads again, still cut off from B1. Its
+  // valQueue never saw v, so nothing pushes v to the servers it hears.
+  h.sim().run_until(h.sim().now() + 1);
+  h.async_read(0, [&res](TaggedValue got) { res.stale_read_payload = got.payload; });
+  h.run();
+
+  res.history_dump = h.history().to_string();
+  const CheckResult tw = check_tag_witness(h.history());
+  const CheckResult wg = check_wing_gong(h.history());
+  res.violation_found = !tw.atomic;
+  res.check_detail = tw.atomic ? wg.violation : tw.violation;
+  // Ground truth and witness checker must agree on this small history.
+  if (tw.atomic != wg.atomic) {
+    res.check_detail += " [CHECKER DISAGREEMENT: wg=" +
+                        std::string(wg.atomic ? "atomic" : "violation") + "]";
+    res.violation_found = !wg.atomic;
+  }
+  return res;
+}
+
+}  // namespace mwreg::chains

@@ -1,0 +1,52 @@
+// Fig. 9 / Section 5.1: the fast-read impossibility schedule, executed
+// against the REAL Algorithm 1 & 2 on the simulator.
+//
+// Blocks: B1 = servers {0..t-1}, Bm = the last t servers (m = R+2 when
+// S = (R+2)t). The adversary:
+//   1. lets the writer's query round complete, then confines the write's
+//      update round to B1 (the write stays pending -- its tag is known
+//      deterministically and recorded via History::set_value);
+//   2. runs first reads by readers r_1..r_{R-2}; their REQUESTS reach every
+//      server (so B1's updated set for the new value grows), but B1's
+//      REPLIES are delayed past each read -- the readers decide from the
+//      other S-t servers, see no trace of the new value, return the old one
+//      and keep their valQueue clean;
+//   3. runs a read by r_{R-1} that hears B1 (missing the last block instead):
+//      it sees the new value on t servers whose updated sets now contain
+//      {writer, r_1..r_{R-2}, r_{R-1} itself} = R clients... and with the
+//      extra degree from its own confirmation, admissible(v, a = R+1) holds
+//      exactly when S <= (R+2)t, i.e. R >= S/t - 2: the read returns NEW;
+//   4. runs a second read by r_R (fresh, clean valQueue) that again misses
+//      B1: it sees nothing and returns OLD.
+// NEW followed by OLD is a new/old inversion: the checker rejects the
+// history. Below the bound, step 3's admissibility test fails, the read
+// returns OLD, and the history stays atomic -- the feasibility frontier of
+// Table 1 falls exactly at R = ceil(S/t) - 2.
+#pragma once
+
+#include <string>
+
+#include "common/cluster.h"
+#include "consistency/history.h"
+
+namespace mwreg::chains {
+
+struct FastReadAdversaryResult {
+  ClusterConfig cfg;
+  bool bound_violated = false;   ///< R >= S/t - 2 (the impossible region)
+  bool violation_found = false;  ///< checker rejected the produced history
+  std::string history_dump;
+  std::string check_detail;
+  /// Values returned by the "flip" read (step 3) and the "stale" read
+  /// (step 4); the inversion is flip=new, stale=old.
+  std::int64_t flip_read_payload = 0;
+  std::int64_t stale_read_payload = 0;
+};
+
+/// Run the schedule on fast-read-mw(W2R1) with S servers, failure budget t
+/// and R readers (R >= 2). Uses a constant-delay network so round
+/// boundaries are exact.
+FastReadAdversaryResult run_fastread_adversary(int S, int t, int R,
+                                               std::uint64_t seed = 1);
+
+}  // namespace mwreg::chains

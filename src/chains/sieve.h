@@ -1,0 +1,58 @@
+// The sieve of Section 4.2 (Fig. 8): lifting the "first round-trips do not
+// affect other reads" assumption.
+//
+// Adversarial model: servers in Sigma1 are "affected by R2's first round" --
+// upon receiving R2a they flip their stored write order (the only change of
+// crucial info that can matter, Section 4.1). Servers in Sigma2 =
+// {s_1..s_x} are unaffected.
+//
+// The sieve observations, machine-checked here:
+//   (1) Sigma1 servers behave identically in every execution of the
+//       shortened chain alpha-hat (they receive the same inputs: the
+//       swapping only touches Sigma2), so they carry no information about
+//       the write order -- R1 must decide from Sigma2's crucial info alone.
+//   (2) Restricted to Sigma2, the chain alpha-hat_0..alpha-hat_x is exactly
+//       a (shorter) chain alpha: ends forced by atomicity, so a critical
+//       server still exists INSIDE Sigma2.
+//   (3) The downstream Phase 2/3 argument needs at least 3 unaffected
+//       servers (t = 1), i.e. x >= 3.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chains/w1r2_engine.h"
+#include "fullinfo/rules.h"
+
+namespace mwreg::chains {
+
+struct SieveResult {
+  int S = 0;
+  int x = 0;  ///< |Sigma2|; Sigma1 = servers x..S-1
+
+  /// R1's value along alpha-hat_0..alpha-hat_x under the Sigma2-restricted
+  /// rule (the sieve's point (1) justifies the restriction).
+  std::vector<int> r1_values;
+  int pivot = 0;  ///< critical server (1-based, within Sigma2), 0 = none
+
+  bool sigma1_constant_ok = false;  ///< point (1), structural
+  bool head_forced_ok = false;      ///< alpha-hat_0 must return 2 (WG)
+  bool tail_forced_ok = false;      ///< alpha-hat_x must return 1 (WG + view eq)
+  bool enough_servers = false;      ///< x >= 3
+
+  /// The whole sieve succeeded: a critical server exists inside Sigma2 and
+  /// the chain argument can proceed on the unaffected servers.
+  [[nodiscard]] bool chain_argument_survives() const {
+    return sigma1_constant_ok && head_forced_ok && tail_forced_ok &&
+           enough_servers && pivot >= 1 && pivot <= x;
+  }
+
+  std::vector<std::string> narrative;
+};
+
+/// Run the sieve for a cluster of S servers with x unaffected ones.
+/// The rule decides on views; the sieve evaluates it on the Sigma2-restricted
+/// view (point (1)). Requires 3 <= x <= S.
+SieveResult run_sieve(const fullinfo::DecisionRule& rule, int S, int x);
+
+}  // namespace mwreg::chains

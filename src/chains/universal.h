@@ -1,0 +1,51 @@
+// The universal (for-ALL-rules) form of both impossibility theorems.
+//
+// prove_w1r2_impossible() finds a violation for one given rule. This module
+// proves the full quantification "no decision rule exists" for a fixed S,
+// with no rule search at all:
+//
+//   - Nodes are equivalence classes of (filtered) reader views appearing in
+//     the constructed executions, for EVERY critical-server position and
+//     both stems.
+//   - An edge joins R1's view and R2's view of the same execution whenever
+//     atomicity forces the two reads to return the SAME value there (both
+//     writes complete before both reads -- checked by Wing-Gong on the
+//     execution's history template, not assumed).
+//   - Two pins: atomicity forces value 2 on alpha_0's view (sequential
+//     W1 < W2 < R1) and value 1 on alpha_tail's view.
+//
+// Any decision rule is a function of views, so along every edge a rule that
+// never violates atomicity must assign equal values, and it must respect
+// the pins. If union-find connects the two pins, NO such rule exists: every
+// rule must violate atomicity in one of the constructed executions. That is
+// Theorem 1 (for first-round-invariant rules, the Section 3 model), as one
+// machine-checked connectivity fact.
+//
+// The key paths: the view-identity bridge alpha_stem == beta_0(stem, crit),
+// the zigzag identities of Figs. 4-7 within each stem, and the modified-tail
+// equality beta_S(i1-1, crit) == beta_S(i1, crit) which splices NEIGHBORING
+// stems together -- walking the pivot across all of chain alpha.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mwreg::chains {
+
+struct UniversalResult {
+  int S = 0;
+  bool unsat = false;        ///< pins connected: no rule can exist
+  std::size_t view_classes = 0;
+  std::size_t equality_edges = 0;
+  std::size_t executions = 0;
+  std::vector<std::string> narrative;
+};
+
+/// Theorem 1 (W1R2), universally over all first-round-invariant rules.
+UniversalResult prove_w1r2_universal(int S);
+
+/// The W1R1 impossibility, universally over all rules.
+UniversalResult prove_w1r1_universal(int S);
+
+}  // namespace mwreg::chains

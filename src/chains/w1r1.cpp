@@ -1,0 +1,131 @@
+#include "chains/w1r1.h"
+
+#include <sstream>
+
+#include "consistency/checkers.h"
+
+namespace mwreg::chains {
+
+using fullinfo::DecisionRule;
+using fullinfo::Execution;
+using fullinfo::to_history_one_round;
+using fullinfo::view_of;
+
+Execution make_delta(int S, int i) {
+  Execution x;
+  x.label = "delta_" + std::to_string(i);
+  x.has_r2 = true;
+  x.writes = i == 0 ? WriteRelation::kW1ThenW2 : WriteRelation::kConcurrent;
+  for (int j = 0; j < S; ++j) {
+    fullinfo::ServerLog log =
+        j < i ? fullinfo::ServerLog{Ev::kW2, Ev::kW1}
+              : fullinfo::ServerLog{Ev::kW1, Ev::kW2};
+    log.push_back(Ev::kR1a);
+    log.push_back(Ev::kR2a);
+    x.servers.push_back(std::move(log));
+  }
+  return x;
+}
+
+Execution make_delta_tail(int S) {
+  Execution x = make_delta(S, S);
+  x.label = "delta_tail";
+  x.writes = WriteRelation::kW2ThenW1;
+  return x;
+}
+
+Execution make_eps(int S, int i, int r2_skip) {
+  Execution x = make_delta(S, i);
+  x = remove_event(std::move(x), r2_skip, Ev::kR2a);
+  x.label = "eps_" + std::to_string(i) + "[R2skips_s" +
+            std::to_string(r2_skip + 1) + "]";
+  return x;
+}
+
+std::vector<LinkCheck> verify_w1r1_construction(int S) {
+  std::vector<LinkCheck> out;
+  auto eq = [&out](const std::string& name, const fullinfo::ReadView& a,
+                   const fullinfo::ReadView& b) {
+    LinkCheck c;
+    c.name = name;
+    c.ok = a == b;
+    if (!c.ok) c.detail = a.to_string() + "--\n" + b.to_string();
+    out.push_back(std::move(c));
+  };
+  eq("R1: delta_S == delta_tail", view_of(make_delta(S, S), 1),
+     view_of(make_delta_tail(S), 1));
+  eq("R2: delta_S == delta_tail", view_of(make_delta(S, S), 2),
+     view_of(make_delta_tail(S), 2));
+  for (int i1 = 1; i1 <= S; ++i1) {
+    const int crit = i1 - 1;
+    const std::string pre = "i1=" + std::to_string(i1) + ": ";
+    eq(pre + "R1: eps_{i1-1} == delta_{i1-1}",
+       view_of(make_eps(S, i1 - 1, crit), 1), view_of(make_delta(S, i1 - 1), 1));
+    eq(pre + "R1: eps_{i1} == delta_{i1}", view_of(make_eps(S, i1, crit), 1),
+       view_of(make_delta(S, i1), 1));
+    eq(pre + "R2: eps_{i1-1} == eps_{i1}", view_of(make_eps(S, i1 - 1, crit), 2),
+       view_of(make_eps(S, i1, crit), 2));
+  }
+  return out;
+}
+
+namespace {
+
+bool check_one(const DecisionRule& rule, const Execution& e, Certificate& cert) {
+  ++cert.executions_checked;
+  const int r1 = rule.decide(view_of(e, 1), 1);
+  const int r2 = rule.decide(view_of(e, 2), 2);
+  const History h = to_history_one_round(e, r1, r2);
+  const CheckResult wg = check_wing_gong(h);
+  if (wg.atomic) return false;
+  cert.found = true;
+  cert.execution_label = e.label;
+  cert.execution_dump = e.to_string();
+  cert.history_dump = h.to_string();
+  cert.wg_violation = wg.violation;
+  cert.narrative.push_back("VIOLATION at " + e.label + ": R1=" +
+                           std::to_string(r1) + ", R2=" + std::to_string(r2) +
+                           " -- " + wg.violation);
+  return true;
+}
+
+}  // namespace
+
+Certificate prove_w1r1_impossible(const DecisionRule& rule, int S) {
+  Certificate cert;
+  cert.rule_name = rule.name();
+  auto note = [&cert](const std::string& s) { cert.narrative.push_back(s); };
+
+  std::vector<int> vals;
+  for (int i = 0; i <= S; ++i) {
+    vals.push_back(rule.decide(view_of(make_delta(S, i), 1), 1));
+  }
+  {
+    std::ostringstream os;
+    os << "W1R1 chain delta: R1 returns [";
+    for (int v : vals) os << v;
+    os << "]";
+    note(os.str());
+  }
+  if (check_one(rule, make_delta(S, 0), cert)) return cert;
+  if (check_one(rule, make_delta_tail(S), cert)) return cert;
+
+  int i1 = 0;
+  for (int i = 1; i <= S; ++i) {
+    if (vals[static_cast<std::size_t>(i - 1)] == 2 &&
+        vals[static_cast<std::size_t>(i)] == 1) {
+      i1 = i;
+      break;
+    }
+  }
+  cert.critical_server = i1;
+  note("critical server s_" + std::to_string(i1));
+
+  if (check_one(rule, make_eps(S, i1 - 1, i1 - 1), cert)) return cert;
+  if (check_one(rule, make_eps(S, i1, i1 - 1), cert)) return cert;
+
+  note("NO VIOLATION FOUND -- contradicts the W1R1 impossibility.");
+  return cert;
+}
+
+}  // namespace mwreg::chains

@@ -1,0 +1,39 @@
+// The W1R1 impossibility (Table 1, row 4; Dutta et al. [12]), replayed in
+// the same machinery: one-round reads cannot see anything that happens after
+// their single round, so the chain argument needs no Phase 2/3 -- a single
+// pivot pair suffices.
+//
+// Construction: delta_i = writes with pattern i, then non-concurrent
+// one-round reads R1 then R2 (both skip-free); eps_i = delta_i with R2
+// skipping the critical server. For any decision rule:
+//   - atomicity pins delta_0 (W1<W2<R1<R2 => both reads return 2) and the
+//     tail twin of delta_S (both return 1), Wing-Gong-checked;
+//   - R1's view in eps_i equals its view in delta_i EXACTLY (R2's round
+//     happens after R1's, so R1 sees no trace of it);
+//   - R2's views in eps_{i1-1} and eps_{i1} are EXACTLY equal (the only
+//     differing server is skipped);
+//   - within each eps execution the two sequential reads (after both writes
+//     completed) must return the same value, Wing-Gong-checked.
+// Propagation forces 2 == 1, so one of the checked executions must violate
+// atomicity; the engine returns it.
+#pragma once
+
+#include "chains/w1r2_engine.h"  // LinkCheck, Certificate
+#include "fullinfo/rules.h"
+
+namespace mwreg::chains {
+
+/// delta_i: writes pattern i + one-round R1 then one-round R2.
+/// R1 is event kR1a, R2 is event kR2a (single rounds).
+fullinfo::Execution make_delta(int S, int i);
+fullinfo::Execution make_delta_tail(int S);
+/// eps_i: delta_i with R2 skipping server index `r2_skip`.
+fullinfo::Execution make_eps(int S, int i, int r2_skip);
+
+/// Structural checks of the construction for all pivots.
+std::vector<LinkCheck> verify_w1r1_construction(int S);
+
+/// Find a Wing-Gong-verified violating execution for `rule`.
+Certificate prove_w1r1_impossible(const fullinfo::DecisionRule& rule, int S);
+
+}  // namespace mwreg::chains

@@ -1,0 +1,117 @@
+#include "chains/w1r2_chains.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mwreg::chains {
+namespace {
+
+fullinfo::ServerLog writes_part(bool swapped) {
+  return swapped ? fullinfo::ServerLog{Ev::kW2, Ev::kW1}
+                 : fullinfo::ServerLog{Ev::kW1, Ev::kW2};
+}
+
+}  // namespace
+
+Execution make_alpha(int S, int i) {
+  assert(S >= 3 && i >= 0 && i <= S);
+  Execution x;
+  x.label = "alpha_" + std::to_string(i);
+  x.has_r2 = false;
+  x.writes = i == 0 ? WriteRelation::kW1ThenW2 : WriteRelation::kConcurrent;
+  for (int j = 0; j < S; ++j) {
+    fullinfo::ServerLog log = writes_part(j < i);
+    log.push_back(Ev::kR1a);
+    log.push_back(Ev::kR1b);
+    x.servers.push_back(std::move(log));
+  }
+  return x;
+}
+
+Execution make_alpha_tail(int S) {
+  Execution x = make_alpha(S, S);
+  x.label = "alpha_tail";
+  x.writes = WriteRelation::kW2ThenW1;
+  return x;
+}
+
+Execution make_beta(int S, int stem, int k, int r2_skip) {
+  assert(S >= 3 && stem >= 0 && stem <= S && k >= 0 && k <= S);
+  Execution x;
+  x.label = "beta[stem=" + std::to_string(stem) + ",k=" + std::to_string(k) +
+            (r2_skip >= 0 ? ",R2skips_s" + std::to_string(r2_skip + 1) : "") +
+            "]";
+  x.has_r2 = true;
+  x.writes = stem == 0 ? WriteRelation::kW1ThenW2 : WriteRelation::kConcurrent;
+  for (int j = 0; j < S; ++j) {
+    fullinfo::ServerLog log = writes_part(j < stem);
+    log.push_back(Ev::kR1a);
+    const bool skip = j == r2_skip;
+    if (!skip) log.push_back(Ev::kR2a);
+    if (j < k && !skip) {
+      log.push_back(Ev::kR2b);
+      log.push_back(Ev::kR1b);
+    } else {
+      log.push_back(Ev::kR1b);
+      if (!skip) log.push_back(Ev::kR2b);
+    }
+    x.servers.push_back(std::move(log));
+  }
+  return x;
+}
+
+Execution remove_event(Execution x, int s, Ev e) {
+  auto& log = x.servers.at(static_cast<std::size_t>(s));
+  log.erase(std::remove(log.begin(), log.end(), e), log.end());
+  return x;
+}
+
+Execution append_event(Execution x, int s, Ev e) {
+  x.servers.at(static_cast<std::size_t>(s)).push_back(e);
+  return x;
+}
+
+LinkBundle make_links(int S, int stem, int k, int i1) {
+  assert(k >= 0 && k < S && i1 >= 1 && i1 <= S);
+  const int crit = i1 - 1;  // server index of s_{i1}
+  const Execution beta_k = make_beta(S, stem, k, crit);
+  const Execution beta_k1 = make_beta(S, stem, k + 1, crit);
+
+  LinkBundle out;
+  if (k + 1 != i1) {
+    // Horizontal (Section 3.4.1): temp_k = beta_k except R2b skips s_{k+1}
+    // and no longer skips s_{i1} (added back AFTER R1b there, so R1 cannot
+    // see the change). gamma_k = temp_k except R1b skips s_{k+1}.
+    Execution temp = remove_event(beta_k, k, Ev::kR2b);
+    temp = append_event(std::move(temp), crit, Ev::kR2b);
+    temp.label = "temp_" + std::to_string(k);
+    out.gamma = remove_event(temp, k, Ev::kR1b);
+    out.gamma.label = "gamma_" + std::to_string(k);
+    out.temp = std::move(temp);
+
+    // Diagonal (Section 3.4.2): temp'_k = beta_{k+1} except R1b skips
+    // s_{k+1} (R2b finished first there, so R2 cannot see the change).
+    // gamma'_k = temp'_k except R2b skips s_{k+1} and is added back on
+    // s_{i1} after R1b.
+    Execution tp = remove_event(beta_k1, k, Ev::kR1b);
+    tp.label = "temp'_" + std::to_string(k);
+    Execution gp = remove_event(tp, k, Ev::kR2b);
+    gp = append_event(std::move(gp), crit, Ev::kR2b);
+    gp.label = "gamma'_" + std::to_string(k);
+    out.temp_p = std::move(tp);
+    out.gamma_p = std::move(gp);
+  } else {
+    // Special case k+1 == i1 (simpler, Section 3.4.1/3.4.2 endnotes):
+    // s_{k+1} is the critical server, which R2 skips entirely; gamma_k is
+    // beta_k with R1b skipping s_{k+1}, and gamma'_k is beta_{k+1} with R1b
+    // skipping s_{k+1}. (beta_k == beta_{k+1} here: the swap is vacuous on
+    // a server with no R2b.)
+    out.gamma = remove_event(beta_k, k, Ev::kR1b);
+    out.gamma.label = "gamma_" + std::to_string(k) + "(k+1=i1)";
+    out.gamma_p = remove_event(beta_k1, k, Ev::kR1b);
+    out.gamma_p.label = "gamma'_" + std::to_string(k) + "(k+1=i1)";
+  }
+  return out;
+}
+
+}  // namespace mwreg::chains

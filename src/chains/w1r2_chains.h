@@ -1,0 +1,59 @@
+// Constructions of Sections 3.2-3.4: chain alpha, chains beta'/beta''/beta,
+// and the Phase-3 executions temp_k, gamma_k, temp'_k, gamma'_k that form the
+// horizontal and diagonal links of the zigzag chain Z.
+//
+// Conventions: servers are 0-indexed (the paper's s_{j+1} is index j); the
+// critical server s_{i1} is index i1-1. "Pattern p" means the first p
+// servers receive W2 before W1 (the swapping of Section 3.2 applied p
+// times).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fullinfo/execution.h"
+
+namespace mwreg::chains {
+
+using fullinfo::Ev;
+using fullinfo::Execution;
+using fullinfo::WriteRelation;
+
+/// alpha_i (Section 3.2): W1, W2 with pattern i, then a skip-free two-round
+/// R1. alpha_0 is the head (sequential W1 < W2); 0 < i <= S have concurrent
+/// writes (different servers see different orders).
+Execution make_alpha(int S, int i);
+
+/// The tail execution: same server logs as alpha_S but with the operations
+/// temporally ordered W2 < W1. R1 cannot distinguish it from alpha_S.
+Execution make_alpha_tail(int S);
+
+/// beta'_k / beta''_k (Section 3.3): the alpha execution with pattern `stem`
+/// extended with R2; round order R1a, R2a, R1b, R2b; the second rounds are
+/// swapped (R2b delivered before R1b) on the first k servers. When
+/// r2_skip >= 0, R2 (both round-trips) skips that server index -- chain beta
+/// uses r2_skip = i1-1, chains beta'/beta'' use -1 (skip-free), and the
+/// modified tails are k = S with r2_skip = i1-1.
+Execution make_beta(int S, int stem, int k, int r2_skip);
+
+/// Phase-3 execution bundle for one k (Section 3.4). When k+1 == i1 the
+/// temp executions are not needed (the simpler special case) and are nullopt.
+struct LinkBundle {
+  std::optional<Execution> temp;    ///< temp_k  (horizontal intermediate)
+  Execution gamma;                  ///< gamma_k
+  std::optional<Execution> temp_p;  ///< temp'_k (diagonal intermediate)
+  Execution gamma_p;                ///< gamma'_k
+};
+
+/// Build the Phase-3 executions from beta_k and beta_{k+1}.
+/// `stem` and `i1` identify the underlying chain beta (i1 is 1-based).
+LinkBundle make_links(int S, int stem, int k, int i1);
+
+/// Remove every occurrence of `e` from server `s` ("the round skips s").
+Execution remove_event(Execution x, int s, Ev e);
+
+/// Append `e` at the END of server s's log (e.g. adding R2b back on the
+/// critical server after R1b, so R1 cannot see the change).
+Execution append_event(Execution x, int s, Ev e);
+
+}  // namespace mwreg::chains

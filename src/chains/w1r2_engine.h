@@ -1,0 +1,53 @@
+// The Theorem 1 engine.
+//
+// Two artifacts:
+//
+//  1. verify_w1r2_construction(S): machine-checks every indistinguishability
+//     claim the proof makes (Figs. 4-7), for every possible critical server
+//     i1 and both possible stems: the relevant reader's views are equal as
+//     data structures (exact equality; the only step needing the Section 3.1
+//     first-round assumption is the alpha->beta bridge, checked on views
+//     filtered of the other reader's first round).
+//
+//  2. prove_w1r2_impossible(rule, S): for ANY first-round-invariant decision
+//     rule, walks the three phases and returns a concrete execution from the
+//     construction whose induced history fails the Wing-Gong atomicity
+//     check. The chain argument guarantees one exists; the engine finds it
+//     and independently verifies it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chains/w1r2_chains.h"
+#include "fullinfo/rules.h"
+
+namespace mwreg::chains {
+
+struct LinkCheck {
+  std::string name;
+  bool ok = false;
+  std::string detail;
+};
+
+/// Verify every structural claim of the Section 3 construction for all
+/// i1 in [1, S] and both stems. All entries must come back ok.
+std::vector<LinkCheck> verify_w1r2_construction(int S);
+
+struct Certificate {
+  bool found = false;            ///< a violating execution was found
+  std::string rule_name;
+  int critical_server = 0;       ///< i1 (1-based), 0 if violation in chain alpha
+  std::string execution_label;   ///< which constructed execution violates
+  std::string execution_dump;    ///< server logs of that execution
+  std::string history_dump;      ///< the induced operation history
+  std::string wg_violation;      ///< the Wing-Gong checker's verdict
+  std::vector<std::string> narrative;  ///< phase-by-phase proof replay
+
+  /// Total executions evaluated and checked along the way.
+  int executions_checked = 0;
+};
+
+Certificate prove_w1r2_impossible(const fullinfo::DecisionRule& rule, int S);
+
+}  // namespace mwreg::chains

@@ -1,0 +1,37 @@
+#include "common/cluster.h"
+
+namespace mwreg {
+namespace {
+
+std::vector<NodeId> id_range(NodeId lo, int n) {
+  std::vector<NodeId> ids;
+  ids.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) ids.push_back(lo + i);
+  return ids;
+}
+
+}  // namespace
+
+std::vector<NodeId> ClusterConfig::server_ids() const {
+  return id_range(0, num_servers);
+}
+
+std::vector<NodeId> ClusterConfig::writer_ids() const {
+  return id_range(num_servers, num_writers);
+}
+
+std::vector<NodeId> ClusterConfig::reader_ids() const {
+  return id_range(num_servers + num_writers, num_readers);
+}
+
+std::vector<NodeId> ClusterConfig::client_ids() const {
+  return id_range(num_servers, num_writers + num_readers);
+}
+
+std::string ClusterConfig::to_string() const {
+  return "S=" + std::to_string(num_servers) + " W=" +
+         std::to_string(num_writers) + " R=" + std::to_string(num_readers) +
+         " t=" + std::to_string(max_faulty);
+}
+
+}  // namespace mwreg

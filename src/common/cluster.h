@@ -1,0 +1,73 @@
+// Cluster layout: how many servers / writers / readers, the failure budget t,
+// and the id ranges assigned to each role (Fig. 1 of the paper).
+//
+// Ids are laid out as: servers [0, S), writers [S, S+W), readers [S+W, S+W+R).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mwreg {
+
+struct ClusterConfig {
+  int num_servers = 3;  ///< S
+  int num_writers = 2;  ///< W
+  int num_readers = 2;  ///< R
+  int max_faulty = 1;   ///< t — servers that may crash
+
+  [[nodiscard]] int s() const { return num_servers; }
+  [[nodiscard]] int w() const { return num_writers; }
+  [[nodiscard]] int r() const { return num_readers; }
+  [[nodiscard]] int t() const { return max_faulty; }
+
+  /// Quorum size every round-trip waits for: S - t (the paper's model).
+  [[nodiscard]] int quorum() const { return num_servers - max_faulty; }
+
+  [[nodiscard]] NodeId server_id(int i) const { return i; }
+  [[nodiscard]] NodeId writer_id(int i) const { return num_servers + i; }
+  [[nodiscard]] NodeId reader_id(int i) const {
+    return num_servers + num_writers + i;
+  }
+
+  [[nodiscard]] int total_nodes() const {
+    return num_servers + num_writers + num_readers;
+  }
+
+  [[nodiscard]] bool is_server(NodeId id) const {
+    return id >= 0 && id < num_servers;
+  }
+  [[nodiscard]] bool is_writer(NodeId id) const {
+    return id >= num_servers && id < num_servers + num_writers;
+  }
+  [[nodiscard]] bool is_reader(NodeId id) const {
+    return id >= num_servers + num_writers && id < total_nodes();
+  }
+
+  [[nodiscard]] std::vector<NodeId> server_ids() const;
+  [[nodiscard]] std::vector<NodeId> writer_ids() const;
+  [[nodiscard]] std::vector<NodeId> reader_ids() const;
+  [[nodiscard]] std::vector<NodeId> client_ids() const;
+
+  /// Feasibility of W2R2 (LS97 / MW-ABD): majorities must intersect.
+  [[nodiscard]] bool supports_w2r2() const {
+    return 2 * max_faulty < num_servers;
+  }
+
+  /// The paper's necessary & sufficient condition for fast reads (Section 5):
+  /// R < S/t - 2, i.e. (R + 2) * t < S.
+  [[nodiscard]] bool supports_fast_read() const {
+    return max_faulty >= 1 && (num_readers + 2) * max_faulty < num_servers;
+  }
+
+  /// Well-formedness for the multi-writer setting the paper studies.
+  [[nodiscard]] bool valid() const {
+    return num_servers >= 2 && num_writers >= 1 && num_readers >= 1 &&
+           max_faulty >= 0 && max_faulty < num_servers;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace mwreg

@@ -1,0 +1,81 @@
+// Wire-format serialization for protocol messages.
+//
+// The simulator delivers opaque byte payloads; every protocol message type
+// provides encode/decode via ByteWriter/ByteReader. Integers use LEB128
+// varints with zigzag for signed values, so payload sizes track information
+// content (relevant to the full-info vs. optimized implementation gap the
+// paper discusses in Section 4.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/tag.h"
+#include "common/types.h"
+
+namespace mwreg {
+
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_varint(std::uint64_t v);
+  void put_signed(std::int64_t v);  // zigzag + varint
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  void put_string(const std::string& s);
+  void put_tag(const Tag& t);
+  void put_value(const TaggedValue& v);
+
+  template <typename T, typename Fn>
+  void put_vector(const std::vector<T>& v, Fn&& put_one) {
+    put_varint(v.size());
+    for (const T& x : v) put_one(*this, x);
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Reader over an encoded payload. All get_* methods set the error flag on
+/// malformed input instead of throwing; callers check ok() once at the end.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  std::uint8_t get_u8();
+  std::uint64_t get_varint();
+  std::int64_t get_signed();
+  bool get_bool() { return get_u8() != 0; }
+  std::string get_string();
+  Tag get_tag();
+  TaggedValue get_value();
+
+  template <typename T, typename Fn>
+  std::vector<T> get_vector(Fn&& get_one) {
+    const std::uint64_t n = get_varint();
+    std::vector<T> out;
+    if (n > buf_.size() + 1) {  // each element needs >= 0 bytes; cap wildly bad sizes
+      fail();
+      return out;
+    }
+    out.reserve(n);
+    for (std::uint64_t i = 0; i < n && ok(); ++i) out.push_back(get_one(*this));
+    return out;
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool exhausted() const { return pos_ == buf_.size(); }
+
+ private:
+  void fail() { ok_ = false; }
+
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace mwreg

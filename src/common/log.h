@@ -1,0 +1,51 @@
+// Minimal leveled logging. Off by default so tests and benchmarks stay quiet;
+// examples turn it on to narrate executions.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mwreg {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold. Messages below this level are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line at `level` (thread-safe; the simulator is single-threaded
+/// but examples may log from helper threads).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, os_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace mwreg
+
+#define MWREG_LOG(level)                                 \
+  if (static_cast<int>(level) < static_cast<int>(::mwreg::log_level())) { \
+  } else                                                 \
+    ::mwreg::detail::LogMessage(level)
+
+#define MWREG_DEBUG MWREG_LOG(::mwreg::LogLevel::kDebug)
+#define MWREG_INFO MWREG_LOG(::mwreg::LogLevel::kInfo)
+#define MWREG_WARN MWREG_LOG(::mwreg::LogLevel::kWarn)
+#define MWREG_ERROR MWREG_LOG(::mwreg::LogLevel::kError)

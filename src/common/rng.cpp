@@ -1,0 +1,61 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace mwreg {
+namespace {
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t SplitMix64::next() {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  // Lemire's nearly-divisionless method would be overkill here; simple
+  // rejection keeps the distribution exactly uniform.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::next_in(std::int64_t lo, std::int64_t hi) {
+  return lo + static_cast<std::int64_t>(
+                  next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p_true) { return next_double() < p_true; }
+
+Rng Rng::fork() { return Rng(next()); }
+
+}  // namespace mwreg

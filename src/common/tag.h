@@ -1,0 +1,57 @@
+// Tag: the (timestamp, writer-id) pair that totally orders written values.
+//
+// The paper (Section 5.2) orders values lexicographically:
+//   (ts1, w1) < (ts2, w2)  iff  ts1 < ts2, or ts1 == ts2 and w1 < w2.
+// The initial register value carries the bottom tag (0, kNoNode).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/types.h"
+
+namespace mwreg {
+
+struct Tag {
+  std::int64_t ts = 0;
+  NodeId wid = kNoNode;
+
+  friend auto operator<=>(const Tag&, const Tag&) = default;
+
+  [[nodiscard]] bool is_bottom() const { return ts == 0 && wid == kNoNode; }
+
+  [[nodiscard]] std::string to_string() const {
+    return "(" + std::to_string(ts) + "," +
+           (wid == kNoNode ? std::string("_") : std::to_string(wid)) + ")";
+  }
+};
+
+/// The tag of the register's initial value.
+inline constexpr Tag kBottomTag{};
+
+/// A register value: the totally ordered tag plus an opaque payload.
+/// Protocol histories identify values by tag (tags are unique per write),
+/// so the checker never needs to inspect the payload.
+struct TaggedValue {
+  Tag tag;
+  std::int64_t payload = 0;
+
+  friend auto operator<=>(const TaggedValue&, const TaggedValue&) = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return tag.to_string() + "=" + std::to_string(payload);
+  }
+};
+
+}  // namespace mwreg
+
+template <>
+struct std::hash<mwreg::Tag> {
+  std::size_t operator()(const mwreg::Tag& t) const noexcept {
+    const std::size_t h = std::hash<std::int64_t>{}(t.ts);
+    return h ^ (std::hash<std::int64_t>{}(t.wid) + 0x9e3779b97f4a7c15ULL +
+                (h << 6) + (h >> 2));
+  }
+};

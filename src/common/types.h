@@ -1,0 +1,30 @@
+// Basic identifier and time types shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mwreg {
+
+/// Identifier of a process (server or client). Globally unique within a
+/// cluster; the mapping between roles and id ranges is owned by
+/// ClusterConfig (cluster.h).
+using NodeId = std::int32_t;
+
+/// Sentinel for "no node" (also used as the bottom writer id in Tag).
+inline constexpr NodeId kNoNode = -1;
+
+/// Virtual time of the discrete-event simulator, in nanoseconds.
+using Time = std::int64_t;
+
+/// A duration in simulated nanoseconds.
+using Duration = std::int64_t;
+
+inline constexpr Time kTimeMax = std::numeric_limits<Time>::max();
+
+/// Convenience literals for simulated durations.
+inline constexpr Duration kMicrosecond = 1'000;
+inline constexpr Duration kMillisecond = 1'000'000;
+inline constexpr Duration kSecond = 1'000'000'000;
+
+}  // namespace mwreg

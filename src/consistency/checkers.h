@@ -1,0 +1,45 @@
+// Atomicity (linearizability of a read/write register) checkers.
+//
+// Three independent algorithms with different cost/strength trade-offs:
+//
+//  1. check_tag_witness  — O(n log n). Uses the protocol's tags as the
+//     linearization witness (Lynch, "Distributed Algorithms", Lemma 13.16
+//     style). Sufficient for atomicity, not necessary: a history can be
+//     atomic even though the tags are not a witness. All protocols in this
+//     repo are designed so their tags *are* witnesses, so this is the
+//     checker used on large protocol-generated histories.
+//
+//  2. check_wing_gong    — exponential worst case, memoized. Exhaustive
+//     search over linearizations (Wing & Gong 1993). Exact. Ground truth
+//     for small histories in property tests.
+//
+//  3. check_unique_value_graph — O(n^2). Exact for histories with unique
+//     write tags (which fixes the reads-from relation), in the spirit of
+//     Gibbons & Korach's "Testing Shared Memories": per-write clusters,
+//     forced precedence edges, cycle detection.
+//
+// Checkers 2 and 3 agree on every history with unique write tags; checker 1
+// implies both. These relations are enforced by property tests.
+#pragma once
+
+#include <cstddef>
+
+#include "consistency/history.h"
+
+namespace mwreg {
+
+/// Tag-witness check. Requires unique completed-write tags. Conditions:
+///  (RF) every read tag is bottom or the tag of some write, with equal payload;
+///  (RT) if O1 precedes O2 in real time then tag(O1) <= tag(O2), strictly if
+///       O2 is a write.
+CheckResult check_tag_witness(const History& h);
+
+/// Exhaustive linearization search. Pending reads are dropped; pending writes
+/// may or may not take effect. Refuses histories larger than `max_ops`
+/// (returns a violation explaining why) to keep tests bounded.
+CheckResult check_wing_gong(const History& h, std::size_t max_ops = 24);
+
+/// Cluster/constraint-graph check, exact when completed-write tags are unique.
+CheckResult check_unique_value_graph(const History& h);
+
+}  // namespace mwreg

@@ -1,0 +1,139 @@
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "consistency/checkers.h"
+
+namespace mwreg {
+namespace {
+
+// A cluster groups one write with every read that returned its value
+// (Gibbons & Korach style). Cluster 0 is the virtual initial write of the
+// bottom value, which really-precedes everything.
+struct Cluster {
+  TaggedValue value;
+  const OpRecord* write = nullptr;            // null only for the bottom cluster
+  std::vector<const OpRecord*> reads;
+};
+
+struct Span {
+  Time first_invoke = kTimeMax;  // earliest invocation among the cluster's ops
+  Time first_resp = kTimeMax;    // earliest response among the cluster's ops
+};
+
+}  // namespace
+
+CheckResult check_unique_value_graph(const History& h) {
+  if (!h.well_formed()) return CheckResult::bad("history is not well-formed");
+  if (!h.unique_write_tags()) {
+    return CheckResult::bad("graph checker requires unique write tags");
+  }
+
+  std::vector<Cluster> clusters;
+  clusters.push_back(Cluster{TaggedValue{}, nullptr, {}});
+  std::map<Tag, std::size_t> by_tag;
+  by_tag[kBottomTag] = 0;
+  for (const OpRecord& r : h.ops()) {
+    if (r.kind != OpKind::kWrite) continue;
+    if (!r.completed() && r.value.tag == kBottomTag) continue;  // tagless pending write
+    auto [it, inserted] = by_tag.emplace(r.value.tag, clusters.size());
+    if (inserted) {
+      clusters.push_back(Cluster{r.value, &r, {}});
+    } else {
+      clusters[it->second].write = &r;
+      clusters[it->second].value = r.value;
+    }
+  }
+  for (const OpRecord& r : h.ops()) {
+    if (r.kind != OpKind::kRead || !r.completed()) continue;
+    auto it = by_tag.find(r.value.tag);
+    if (it == by_tag.end()) {
+      return CheckResult::bad("graph: read op#" + std::to_string(r.id) +
+                              " returns a tag never written");
+    }
+    Cluster& c = clusters[it->second];
+    if (it->second != 0) {
+      if (c.write == nullptr) {
+        return CheckResult::bad("graph: internal: cluster without write");
+      }
+      if (c.write->value.payload != r.value.payload) {
+        return CheckResult::bad("graph: read op#" + std::to_string(r.id) +
+                                " payload differs from the matching write");
+      }
+      // Intra-cluster order: the read must not really-precede its write.
+      if (r.precedes(*c.write)) {
+        return CheckResult::bad("graph: read op#" + std::to_string(r.id) +
+                                " finished before its write was invoked");
+      }
+    } else if (r.value.payload != 0) {
+      return CheckResult::bad("graph: read op#" + std::to_string(r.id) +
+                              " returns bottom tag with nonzero payload");
+    }
+    c.reads.push_back(&r);
+  }
+
+  const std::size_t n = clusters.size();
+
+  // Forced edge A -> B ("w_A linearizes before w_B") whenever some op of A
+  // really-precedes some op of B. Instead of scanning op pairs we compare
+  // cluster spans: exists a in A, b in B with a.resp < b.invoke
+  //   iff  min-resp(A) < max-invoke(B).
+  // We need all pairs, so precompute per-cluster earliest response and
+  // latest invocation.
+  std::vector<Time> min_resp(n, kTimeMax), max_invoke(n, -1);
+  auto fold = [&](std::size_t c, const OpRecord* op) {
+    if (op == nullptr) return;
+    if (op->invoke > max_invoke[c]) max_invoke[c] = op->invoke;
+    if (op->completed() && op->resp < min_resp[c]) min_resp[c] = op->resp;
+  };
+  for (std::size_t c = 0; c < n; ++c) {
+    fold(c, clusters[c].write);
+    for (const OpRecord* r : clusters[c].reads) fold(c, r);
+  }
+  // The bottom cluster's virtual write happened "before time": it precedes
+  // everything and nothing precedes it unless a real op precedes one of its
+  // reads.
+  min_resp[0] = std::min(min_resp[0], static_cast<Time>(-1));
+  max_invoke[0] = std::max(max_invoke[0], static_cast<Time>(-1));
+
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      if (min_resp[a] < max_invoke[b] || a == 0) adj[a].push_back(b);
+    }
+  }
+
+  // Cycle detection (iterative DFS, colors).
+  enum : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<std::uint8_t> color(n, kWhite);
+  for (std::size_t root = 0; root < n; ++root) {
+    if (color[root] != kWhite) continue;
+    std::vector<std::pair<std::size_t, std::size_t>> stack;  // (node, edge idx)
+    stack.emplace_back(root, 0);
+    color[root] = kGray;
+    while (!stack.empty()) {
+      auto& [u, i] = stack.back();
+      if (i < adj[u].size()) {
+        const std::size_t v = adj[u][i++];
+        if (color[v] == kGray) {
+          std::ostringstream os;
+          os << "graph: precedence cycle through values "
+             << clusters[u].value.to_string() << " and "
+             << clusters[v].value.to_string();
+          return CheckResult::bad(os.str());
+        }
+        if (color[v] == kWhite) {
+          color[v] = kGray;
+          stack.emplace_back(v, 0);
+        }
+      } else {
+        color[u] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return CheckResult::ok();
+}
+
+}  // namespace mwreg

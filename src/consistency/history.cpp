@@ -1,0 +1,67 @@
+#include "consistency/history.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace mwreg {
+
+OpId History::begin_op(NodeId client, OpKind kind, Time invoke) {
+  OpRecord rec;
+  rec.id = static_cast<OpId>(ops_.size());
+  rec.client = client;
+  rec.kind = kind;
+  rec.invoke = invoke;
+  ops_.push_back(rec);
+  return rec.id;
+}
+
+void History::end_op(OpId id, Time resp, const TaggedValue& value) {
+  OpRecord& rec = ops_.at(static_cast<std::size_t>(id));
+  rec.resp = resp;
+  rec.value = value;
+}
+
+std::size_t History::completed_count() const {
+  return static_cast<std::size_t>(std::count_if(
+      ops_.begin(), ops_.end(), [](const OpRecord& r) { return r.completed(); }));
+}
+
+bool History::well_formed() const {
+  std::map<NodeId, Time> last_resp;
+  // ops_ is ordered by invocation (begin_op call order).
+  for (const OpRecord& r : ops_) {
+    if (r.completed() && r.resp < r.invoke) return false;
+    auto it = last_resp.find(r.client);
+    if (it != last_resp.end() && r.invoke < it->second) return false;
+    last_resp[r.client] = r.completed() ? r.resp : kTimeMax;
+  }
+  return true;
+}
+
+bool History::unique_write_tags() const {
+  std::set<Tag> seen;
+  for (const OpRecord& r : ops_) {
+    if (r.kind != OpKind::kWrite || !r.completed()) continue;
+    if (!seen.insert(r.value.tag).second) return false;
+  }
+  return true;
+}
+
+std::string History::to_string() const {
+  std::ostringstream os;
+  for (const OpRecord& r : ops_) {
+    os << (r.kind == OpKind::kWrite ? "W" : "R") << " c" << r.client << " ["
+       << r.invoke << ",";
+    if (r.completed()) {
+      os << r.resp;
+    } else {
+      os << "inf";
+    }
+    os << "] " << r.value.to_string() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mwreg

@@ -1,0 +1,91 @@
+// Operation histories of a single shared register (Section 2.1).
+//
+// A history is the sequence of invocation/response events produced by a run.
+// We store it as one record per operation with invocation and response
+// timestamps; an operation that never responded (client crashed, or the run
+// was truncated) has resp == kTimeMax and is treated as concurrent with
+// everything after its invocation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/tag.h"
+#include "common/types.h"
+
+namespace mwreg {
+
+enum class OpKind : std::uint8_t { kWrite, kRead };
+
+using OpId = std::int32_t;
+
+struct OpRecord {
+  OpId id = -1;
+  NodeId client = kNoNode;
+  OpKind kind = OpKind::kWrite;
+  Time invoke = 0;
+  Time resp = kTimeMax;  ///< kTimeMax while pending
+  /// For a write: the value written (tag fixed by the protocol during the
+  /// operation). For a read: the value returned.
+  TaggedValue value;
+
+  [[nodiscard]] bool completed() const { return resp != kTimeMax; }
+  /// Real-time precedence (the paper's O1 \prec_sigma O2).
+  [[nodiscard]] bool precedes(const OpRecord& other) const {
+    return completed() && resp < other.invoke;
+  }
+};
+
+/// Append-only recorder used by the harness; also the input to all checkers.
+class History {
+ public:
+  /// Record an invocation; the value of a write may be filled in later (the
+  /// tag is chosen mid-operation by two-round-trip writers).
+  OpId begin_op(NodeId client, OpKind kind, Time invoke);
+
+  /// Record the matching response.
+  void end_op(OpId id, Time resp, const TaggedValue& value);
+
+  /// Record the value of an operation that may never respond (e.g. a write
+  /// whose tag became known mid-operation before the client crashed). A
+  /// pending write with an unrecorded value (bottom tag) is invisible to the
+  /// checkers: it cannot be read from.
+  void set_value(OpId id, const TaggedValue& value) {
+    ops_.at(static_cast<std::size_t>(id)).value = value;
+  }
+
+  [[nodiscard]] const std::vector<OpRecord>& ops() const { return ops_; }
+  [[nodiscard]] std::size_t size() const { return ops_.size(); }
+  [[nodiscard]] const OpRecord& op(OpId id) const {
+    return ops_.at(static_cast<std::size_t>(id));
+  }
+
+  [[nodiscard]] std::size_t completed_count() const;
+
+  /// True when each client's subsequence is sequential (well-formedness,
+  /// Section 2.1) and response times follow invocations.
+  [[nodiscard]] bool well_formed() const;
+
+  /// True when every completed write's tag is distinct (required by the
+  /// scalable checkers; all protocols in this repo guarantee it).
+  [[nodiscard]] bool unique_write_tags() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  void clear() { ops_.clear(); }
+
+ private:
+  std::vector<OpRecord> ops_;
+};
+
+/// Result of an atomicity check.
+struct CheckResult {
+  bool atomic = true;
+  std::string violation;  ///< human-readable description when !atomic
+
+  static CheckResult ok() { return {true, ""}; }
+  static CheckResult bad(std::string why) { return {false, std::move(why)}; }
+};
+
+}  // namespace mwreg

@@ -1,0 +1,116 @@
+#include "consistency/weak_checkers.h"
+
+#include <string>
+#include <vector>
+
+namespace mwreg {
+namespace {
+
+struct WriteInfo {
+  const OpRecord* op;
+};
+
+std::vector<const OpRecord*> writes_of(const History& h) {
+  std::vector<const OpRecord*> ws;
+  for (const OpRecord& r : h.ops()) {
+    if (r.kind == OpKind::kWrite) ws.push_back(&r);
+  }
+  return ws;
+}
+
+bool concurrent(const OpRecord& a, const OpRecord& b) {
+  return !a.precedes(b) && !b.precedes(a);
+}
+
+/// The write a read is allowed to return under regularity: `w` precedes or
+/// overlaps `rd`, and no other write is strictly between `w` and `rd`.
+bool regular_allows(const OpRecord& rd, const OpRecord* w,
+                    const std::vector<const OpRecord*>& writes) {
+  if (w == nullptr) {
+    // Bottom: allowed unless some write strictly precedes the read.
+    for (const OpRecord* other : writes) {
+      if (other->precedes(rd)) return false;
+    }
+    return true;
+  }
+  if (rd.precedes(*w)) return false;  // reading from the future
+  if (concurrent(rd, *w)) return true;
+  // w precedes rd: stale only if another write fits strictly in between.
+  for (const OpRecord* other : writes) {
+    if (other == w) continue;
+    if (w->precedes(*other) && other->precedes(rd)) return false;
+  }
+  return true;
+}
+
+const OpRecord* find_write(const History& h, const Tag& tag) {
+  for (const OpRecord& r : h.ops()) {
+    if (r.kind == OpKind::kWrite && r.value.tag == tag) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+CheckResult check_regular(const History& h) {
+  if (!h.well_formed()) return CheckResult::bad("history is not well-formed");
+  if (!h.unique_write_tags()) {
+    return CheckResult::bad("regular checker requires unique write tags");
+  }
+  const std::vector<const OpRecord*> writes = writes_of(h);
+  for (const OpRecord& rd : h.ops()) {
+    if (rd.kind != OpKind::kRead || !rd.completed()) continue;
+    const OpRecord* w = nullptr;
+    if (rd.value.tag != kBottomTag) {
+      w = find_write(h, rd.value.tag);
+      if (w == nullptr) {
+        return CheckResult::bad("regular: read op#" + std::to_string(rd.id) +
+                                " returns a tag never written");
+      }
+      if (w->value.payload != rd.value.payload) {
+        return CheckResult::bad("regular: read op#" + std::to_string(rd.id) +
+                                " payload mismatch");
+      }
+    }
+    if (!regular_allows(rd, w, writes)) {
+      return CheckResult::bad(
+          "regular: read op#" + std::to_string(rd.id) + " returns " +
+          rd.value.to_string() +
+          (w == nullptr ? " (bottom) after a completed write"
+                        : " which was overwritten before the read began"));
+    }
+  }
+  return CheckResult::ok();
+}
+
+CheckResult check_safe(const History& h) {
+  if (!h.well_formed()) return CheckResult::bad("history is not well-formed");
+  if (!h.unique_write_tags()) {
+    return CheckResult::bad("safe checker requires unique write tags");
+  }
+  const std::vector<const OpRecord*> writes = writes_of(h);
+  for (const OpRecord& rd : h.ops()) {
+    if (rd.kind != OpKind::kRead || !rd.completed()) continue;
+    bool overlaps_write = false;
+    for (const OpRecord* w : writes) {
+      if (concurrent(rd, *w)) {
+        overlaps_write = true;
+        break;
+      }
+    }
+    if (overlaps_write) continue;  // unconstrained under safety
+    const OpRecord* w = rd.value.tag == kBottomTag ? nullptr
+                                                   : find_write(h, rd.value.tag);
+    if (rd.value.tag != kBottomTag && w == nullptr) {
+      return CheckResult::bad("safe: read op#" + std::to_string(rd.id) +
+                              " returns a tag never written");
+    }
+    if (!regular_allows(rd, w, writes)) {
+      return CheckResult::bad("safe: read op#" + std::to_string(rd.id) +
+                              " misses the latest completed write");
+    }
+  }
+  return CheckResult::ok();
+}
+
+}  // namespace mwreg

@@ -1,0 +1,24 @@
+// Weaker register consistency models, for placing implementations on the
+// Fig. 2 consistency axis: safety < regularity < atomicity.
+//
+// Multi-writer generalizations (unique write tags assumed):
+//  - check_safe: a read concurrent with NO write must return the value of
+//    the latest write that precedes it (reads overlapping writes are
+//    unconstrained).
+//  - check_regular: every read must return either the value of a write
+//    concurrent with it, or the value of a preceding write that is not
+//    followed by another write also preceding the read (no lost updates;
+//    new/old inversions between reads remain allowed).
+//
+// check_tag_witness => check_regular => check_safe on every history; the
+// strict gaps are exercised by the naive protocols in the test suite.
+#pragma once
+
+#include "consistency/history.h"
+
+namespace mwreg {
+
+CheckResult check_safe(const History& h);
+CheckResult check_regular(const History& h);
+
+}  // namespace mwreg

@@ -1,0 +1,131 @@
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "consistency/checkers.h"
+
+namespace mwreg {
+namespace {
+
+struct SearchOp {
+  const OpRecord* rec;
+  std::uint32_t bit;
+};
+
+class WingGongSearch {
+ public:
+  explicit WingGongSearch(std::vector<SearchOp> ops) : ops_(std::move(ops)) {
+    // Values are interned so the memo key is (placed-mask, value-index).
+    values_.push_back(TaggedValue{});  // the initial value
+    for (const SearchOp& o : ops_) {
+      if (o.rec->kind == OpKind::kWrite) intern(o.rec->value);
+    }
+    required_ = 0;
+    for (const SearchOp& o : ops_) {
+      if (o.rec->completed()) required_ |= o.bit;
+    }
+  }
+
+  bool linearizable() { return dfs(0, 0); }
+
+ private:
+  int intern(const TaggedValue& v) {
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+      if (values_[i] == v) return static_cast<int>(i);
+    }
+    values_.push_back(v);
+    return static_cast<int>(values_.size() - 1);
+  }
+
+  int index_of(const TaggedValue& v) const {
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+      if (values_[i] == v) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  bool dfs(std::uint32_t placed, int current) {
+    if ((placed & required_) == required_) return true;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(placed) << 8) | static_cast<std::uint32_t>(current);
+    if (!visited_.insert(key).second) return false;
+
+    for (const SearchOp& o : ops_) {
+      if (placed & o.bit) continue;
+      // o may be linearized next only if no unplaced op really-precedes it.
+      bool blocked = false;
+      for (const SearchOp& p : ops_) {
+        if ((placed & p.bit) || p.bit == o.bit) continue;
+        if (p.rec->precedes(*o.rec)) {
+          blocked = true;
+          break;
+        }
+      }
+      if (blocked) continue;
+
+      if (o.rec->kind == OpKind::kWrite) {
+        const int v = index_of(o.rec->value);
+        if (dfs(placed | o.bit, v)) return true;
+      } else {
+        const int want = index_of(o.rec->value);
+        if (want == current && dfs(placed | o.bit, current)) return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<SearchOp> ops_;
+  std::vector<TaggedValue> values_;
+  std::uint32_t required_ = 0;
+  std::unordered_set<std::uint64_t> visited_;
+};
+
+}  // namespace
+
+CheckResult check_wing_gong(const History& h, std::size_t max_ops) {
+  if (!h.well_formed()) return CheckResult::bad("history is not well-formed");
+
+  // Pending reads never returned a value; they impose no constraint.
+  // Pending writes whose value was never recorded (bottom tag) are equally
+  // invisible: no read can name their tag, so they constrain nothing.
+  std::vector<SearchOp> ops;
+  for (const OpRecord& r : h.ops()) {
+    if (!r.completed()) {
+      if (r.kind == OpKind::kRead) continue;
+      if (r.value.tag == kBottomTag) continue;
+    }
+    ops.push_back(SearchOp{&r, 0});
+  }
+  if (ops.size() > max_ops || ops.size() > 24) {
+    return CheckResult::bad("wing-gong: history too large for exhaustive check");
+  }
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    ops[i].bit = 1u << i;
+  }
+
+  // Reads must return bottom or a tag that appears as some write's tag; the
+  // search below would simply fail to place such a read, but a crisp message
+  // is more useful.
+  for (const SearchOp& o : ops) {
+    if (o.rec->kind != OpKind::kRead) continue;
+    if (o.rec->value.tag == kBottomTag) continue;
+    bool found = false;
+    for (const SearchOp& w : ops) {
+      if (w.rec->kind == OpKind::kWrite && w.rec->value == o.rec->value) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return CheckResult::bad("wing-gong: read op#" +
+                              std::to_string(o.rec->id) +
+                              " returns a value never written");
+    }
+  }
+
+  WingGongSearch search(std::move(ops));
+  if (search.linearizable()) return CheckResult::ok();
+  return CheckResult::bad("wing-gong: no valid linearization exists");
+}
+
+}  // namespace mwreg

@@ -1,0 +1,58 @@
+#include "core/harness.h"
+
+#include <cassert>
+#include <utility>
+
+namespace mwreg {
+
+SimHarness::SimHarness(const Protocol& proto, Options opts)
+    : cfg_(opts.cfg), rng_(opts.seed) {
+  assert(cfg_.valid());
+  std::unique_ptr<DelayModel> delay = std::move(opts.delay);
+  if (!delay) {
+    delay = std::make_unique<UniformDelay>(1 * kMillisecond, 10 * kMillisecond);
+  }
+  net_ = std::make_unique<Network>(sim_, std::move(delay), rng_.fork(), opts.fifo);
+  for (NodeId s : cfg_.server_ids()) {
+    servers_.push_back(proto.make_server(s, *net_, cfg_));
+  }
+  for (NodeId w : cfg_.writer_ids()) {
+    writers_.push_back(proto.make_writer(w, *net_, cfg_));
+  }
+  for (NodeId r : cfg_.reader_ids()) {
+    readers_.push_back(proto.make_reader(r, *net_, cfg_));
+  }
+}
+
+OpId SimHarness::async_write(int wi, std::int64_t payload,
+                             std::function<void()> done) {
+  const NodeId client = cfg_.writer_id(wi);
+  const OpId op = history_.begin_op(client, OpKind::kWrite, sim_.now());
+  writers_.at(static_cast<std::size_t>(wi))
+      ->write(payload, [this, op, payload, done = std::move(done)](Tag tag) {
+        history_.end_op(op, sim_.now(), TaggedValue{tag, payload});
+        if (done) done();
+      });
+  return op;
+}
+
+OpId SimHarness::async_read(int ri, std::function<void(TaggedValue)> done) {
+  const NodeId client = cfg_.reader_id(ri);
+  const OpId op = history_.begin_op(client, OpKind::kRead, sim_.now());
+  readers_.at(static_cast<std::size_t>(ri))
+      ->read([this, op, done = std::move(done)](TaggedValue v) {
+        history_.end_op(op, sim_.now(), v);
+        if (done) done(v);
+      });
+  return op;
+}
+
+std::vector<NodeId> SimHarness::crash_random_servers(int count) {
+  std::vector<NodeId> ids = cfg_.server_ids();
+  rng_.shuffle(ids);
+  ids.resize(static_cast<std::size_t>(count));
+  for (NodeId id : ids) net_->crash(id);
+  return ids;
+}
+
+}  // namespace mwreg

@@ -1,0 +1,63 @@
+// SimHarness: wires a cluster (Fig. 1) for one protocol on the simulator,
+// instruments operations into a History, and exposes fault injection.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/cluster.h"
+#include "common/rng.h"
+#include "consistency/history.h"
+#include "core/protocol.h"
+#include "sim/delay_model.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace mwreg {
+
+class SimHarness {
+ public:
+  struct Options {
+    ClusterConfig cfg;
+    std::uint64_t seed = 1;
+    /// Defaults to UniformDelay(1ms, 10ms) when null.
+    std::unique_ptr<DelayModel> delay;
+    bool fifo = false;
+  };
+
+  SimHarness(const Protocol& proto, Options opts);
+
+  Simulator& sim() { return sim_; }
+  Network& net() { return *net_; }
+  const ClusterConfig& cfg() const { return cfg_; }
+  History& history() { return history_; }
+  Rng& rng() { return rng_; }
+
+  /// Issue a write by writer index `wi`, recording it in the history.
+  /// Returns the history OpId (useful to set_value on writes that never
+  /// complete under fault injection).
+  OpId async_write(int wi, std::int64_t payload,
+                   std::function<void()> done = nullptr);
+  /// Issue a read by reader index `ri`, recording it in the history.
+  OpId async_read(int ri, std::function<void(TaggedValue)> done = nullptr);
+
+  /// Crash `count` distinct servers chosen with the harness Rng.
+  std::vector<NodeId> crash_random_servers(int count);
+
+  /// Run the simulator to quiescence and return events executed.
+  std::size_t run() { return sim_.run(); }
+
+ private:
+  ClusterConfig cfg_;
+  Rng rng_;
+  Simulator sim_;
+  std::unique_ptr<Network> net_;
+  std::vector<std::unique_ptr<Process>> servers_;
+  std::vector<std::unique_ptr<WriterApi>> writers_;
+  std::vector<std::unique_ptr<ReaderApi>> readers_;
+  History history_;
+};
+
+}  // namespace mwreg

@@ -1,0 +1,39 @@
+// A Protocol bundles the factories and metadata of one register emulation
+// (one cell of the paper's design space, Fig. 2).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/cluster.h"
+#include "core/register.h"
+#include "sim/network.h"
+
+namespace mwreg {
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Round-trips per write / read operation (the W#R# taxonomy).
+  [[nodiscard]] virtual int write_round_trips() const = 0;
+  [[nodiscard]] virtual int read_round_trips() const = 0;
+
+  /// Whether the protocol guarantees atomicity on this cluster (e.g. MW-ABD
+  /// needs t < S/2; the paper's W2R1 needs R < S/t - 2; the fast-write
+  /// strawman never does — that is Theorem 1).
+  [[nodiscard]] virtual bool guarantees_atomicity(
+      const ClusterConfig& cfg) const = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<Process> make_server(
+      NodeId id, Network& net, const ClusterConfig& cfg) const = 0;
+  /// The returned objects are also Processes attached to `net`.
+  [[nodiscard]] virtual std::unique_ptr<WriterApi> make_writer(
+      NodeId id, Network& net, const ClusterConfig& cfg) const = 0;
+  [[nodiscard]] virtual std::unique_ptr<ReaderApi> make_reader(
+      NodeId id, Network& net, const ClusterConfig& cfg) const = 0;
+};
+
+}  // namespace mwreg

@@ -1,0 +1,31 @@
+// Public client-facing API of an emulated multi-writer atomic register.
+//
+// Operations are asynchronous: they complete via callback when enough
+// servers have replied (Section 2.2's round-trip schema). A client runs one
+// operation at a time (well-formedness).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/tag.h"
+
+namespace mwreg {
+
+/// Write-side API. Only writers may write.
+class WriterApi {
+ public:
+  virtual ~WriterApi() = default;
+  /// Store `payload`; `done` receives the tag the protocol assigned.
+  virtual void write(std::int64_t payload, std::function<void(Tag)> done) = 0;
+};
+
+/// Read-side API. Only readers may read.
+class ReaderApi {
+ public:
+  virtual ~ReaderApi() = default;
+  /// Return the register's value.
+  virtual void read(std::function<void(TaggedValue)> done) = 0;
+};
+
+}  // namespace mwreg

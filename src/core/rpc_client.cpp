@@ -1,0 +1,32 @@
+#include "core/rpc_client.h"
+
+#include <utility>
+
+namespace mwreg {
+
+void RpcClient::round_trip(MsgType type, std::vector<std::uint8_t> payload,
+                           int quorum, RoundDone done) {
+  const std::uint64_t rpc = next_rpc_++;
+  PendingRound& round = pending_[rpc];
+  round.quorum = quorum;
+  round.done = std::move(done);
+  round.replies.reserve(static_cast<std::size_t>(cfg_.s()));
+  for (NodeId s : cfg_.server_ids()) {
+    send(s, type, rpc, payload);
+  }
+}
+
+void RpcClient::on_message(const Message& m) {
+  auto it = pending_.find(m.rpc_id);
+  if (it == pending_.end()) return;  // late reply to a finished round
+  PendingRound& round = it->second;
+  round.replies.push_back(ServerReply{m.src, m.type, m.payload});
+  if (static_cast<int>(round.replies.size()) < round.quorum) return;
+  RoundDone done = std::move(round.done);
+  std::vector<ServerReply> replies = std::move(round.replies);
+  pending_.erase(it);
+  ++rounds_done_;
+  done(std::move(replies));
+}
+
+}  // namespace mwreg

@@ -1,0 +1,64 @@
+// Round-trip engine for clients.
+//
+// A round-trip ("query all / update all", Section 2.2) broadcasts one request
+// to every server and completes when a quorum of S - t replies has arrived.
+// Late replies are counted but not delivered. One round-trip is exactly one
+// unit of the latency the paper's W#R# taxonomy counts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/cluster.h"
+#include "sim/network.h"
+
+namespace mwreg {
+
+struct ServerReply {
+  NodeId server = kNoNode;
+  MsgType type = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+class RpcClient : public Process {
+ public:
+  using RoundDone = std::function<void(std::vector<ServerReply>)>;
+
+  RpcClient(NodeId id, Network& net, const ClusterConfig& cfg)
+      : Process(id, net), cfg_(cfg) {}
+
+  void on_message(const Message& m) final;
+
+  /// Number of round-trips completed by this client (for latency accounting).
+  [[nodiscard]] std::uint64_t rounds_completed() const { return rounds_done_; }
+
+ protected:
+  const ClusterConfig& cfg() const { return cfg_; }
+
+  /// Broadcast `payload` with `type` to all servers; invoke `done` with the
+  /// first `quorum` replies. `done` is called at most once.
+  void round_trip(MsgType type, std::vector<std::uint8_t> payload, int quorum,
+                  RoundDone done);
+
+  /// Convenience: quorum = S - t.
+  void round_trip(MsgType type, std::vector<std::uint8_t> payload,
+                  RoundDone done) {
+    round_trip(type, std::move(payload), cfg_.quorum(), std::move(done));
+  }
+
+ private:
+  struct PendingRound {
+    int quorum = 0;
+    std::vector<ServerReply> replies;
+    RoundDone done;
+  };
+
+  ClusterConfig cfg_;
+  std::uint64_t next_rpc_ = 1;
+  std::uint64_t rounds_done_ = 0;
+  std::map<std::uint64_t, PendingRound> pending_;
+};
+
+}  // namespace mwreg

@@ -1,0 +1,99 @@
+#include "core/workload.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+namespace mwreg {
+namespace {
+
+/// Shared driver state: counts completed ops to trigger the optional crash.
+struct DriverState {
+  int completed = 0;
+  bool crashed = false;
+};
+
+void maybe_crash(SimHarness& h, const WorkloadOptions& opts, DriverState& st) {
+  ++st.completed;
+  if (st.crashed || opts.crash_servers <= 0) return;
+  if (st.completed >= opts.crash_after_ops) {
+    st.crashed = true;
+    h.crash_random_servers(opts.crash_servers);
+  }
+}
+
+void writer_loop(SimHarness& h, const WorkloadOptions& opts,
+                 std::shared_ptr<DriverState> st, int wi, int remaining,
+                 std::shared_ptr<Rng> rng) {
+  if (remaining <= 0) return;
+  const Duration think = rng->next_in(opts.think_lo, opts.think_hi);
+  h.sim().schedule_after(think, [&h, &opts, st, wi, remaining, rng]() {
+    // Payload encodes (writer, sequence) so violations are easy to read.
+    const std::int64_t payload = static_cast<std::int64_t>(wi) * 1'000'000 +
+                                 (opts.ops_per_writer - remaining + 1);
+    h.async_write(wi, payload, [&h, &opts, st, wi, remaining, rng]() {
+      maybe_crash(h, opts, *st);
+      writer_loop(h, opts, st, wi, remaining - 1, rng);
+    });
+  });
+}
+
+void reader_loop(SimHarness& h, const WorkloadOptions& opts,
+                 std::shared_ptr<DriverState> st, int ri, int remaining,
+                 std::shared_ptr<Rng> rng) {
+  if (remaining <= 0) return;
+  const Duration think = rng->next_in(opts.think_lo, opts.think_hi);
+  h.sim().schedule_after(think, [&h, &opts, st, ri, remaining, rng]() {
+    h.async_read(ri, [&h, &opts, st, ri, remaining, rng](TaggedValue) {
+      maybe_crash(h, opts, *st);
+      reader_loop(h, opts, st, ri, remaining - 1, rng);
+    });
+  });
+}
+
+}  // namespace
+
+void run_random_workload(SimHarness& h, const WorkloadOptions& opts) {
+  auto st = std::make_shared<DriverState>();
+  for (int wi = 0; wi < h.cfg().w(); ++wi) {
+    writer_loop(h, opts, st, wi, opts.ops_per_writer,
+                std::make_shared<Rng>(h.rng().fork()));
+  }
+  for (int ri = 0; ri < h.cfg().r(); ++ri) {
+    reader_loop(h, opts, st, ri, opts.ops_per_reader,
+                std::make_shared<Rng>(h.rng().fork()));
+  }
+  h.run();
+}
+
+LatencyStats latency_of(const History& h, OpKind kind) {
+  std::vector<double> lat;
+  for (const OpRecord& r : h.ops()) {
+    if (r.kind != kind || !r.completed()) continue;
+    lat.push_back(static_cast<double>(r.resp - r.invoke) /
+                  static_cast<double>(kMillisecond));
+  }
+  LatencyStats s;
+  s.count = lat.size();
+  if (lat.empty()) return s;
+  std::sort(lat.begin(), lat.end());
+  double sum = 0;
+  for (double v : lat) sum += v;
+  s.mean_ms = sum / static_cast<double>(lat.size());
+  s.p50_ms = lat[lat.size() / 2];
+  s.p99_ms = lat[std::min(lat.size() - 1, lat.size() * 99 / 100)];
+  s.max_ms = lat.back();
+  return s;
+}
+
+std::string to_string(const LatencyStats& s) {
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed << "n=" << s.count << " mean=" << s.mean_ms
+     << "ms p50=" << s.p50_ms << "ms p99=" << s.p99_ms << "ms max=" << s.max_ms
+     << "ms";
+  return os.str();
+}
+
+}  // namespace mwreg

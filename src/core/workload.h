@@ -1,0 +1,40 @@
+// Closed-loop random workloads and latency accounting over histories.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/harness.h"
+
+namespace mwreg {
+
+struct WorkloadOptions {
+  int ops_per_writer = 10;
+  int ops_per_reader = 10;
+  /// Uniform think time between a client's operations.
+  Duration think_lo = 0;
+  Duration think_hi = 5 * kMillisecond;
+  /// Crash this many random servers once `crash_after` operations completed
+  /// cluster-wide (0 = never crash).
+  int crash_servers = 0;
+  int crash_after_ops = 0;
+};
+
+/// Drive every writer and reader through its closed loop until all ops
+/// complete; runs the simulator to quiescence.
+void run_random_workload(SimHarness& h, const WorkloadOptions& opts);
+
+/// Latency summary extracted from a history.
+struct LatencyStats {
+  std::size_t count = 0;
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+};
+
+LatencyStats latency_of(const History& h, OpKind kind);
+
+std::string to_string(const LatencyStats& s);
+
+}  // namespace mwreg

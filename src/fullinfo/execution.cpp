@@ -1,0 +1,227 @@
+#include "fullinfo/execution.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace mwreg::fullinfo {
+
+const char* ev_name(Ev e) {
+  switch (e) {
+    case Ev::kW1:
+      return "W1";
+    case Ev::kW2:
+      return "W2";
+    case Ev::kR1a:
+      return "R1a";
+    case Ev::kR2a:
+      return "R2a";
+    case Ev::kR1b:
+      return "R1b";
+    case Ev::kR2b:
+      return "R2b";
+  }
+  return "?";
+}
+
+bool Execution::receives(int s, Ev e) const {
+  const ServerLog& log = servers.at(static_cast<std::size_t>(s));
+  return std::find(log.begin(), log.end(), e) != log.end();
+}
+
+std::optional<ServerLog> Execution::prefix_at(int s, Ev e) const {
+  const ServerLog& log = servers.at(static_cast<std::size_t>(s));
+  const auto it = std::find(log.begin(), log.end(), e);
+  if (it == log.end()) return std::nullopt;
+  return ServerLog(log.begin(), it + 1);
+}
+
+std::string Execution::write_order(int s) const {
+  std::string order;
+  for (Ev e : servers.at(static_cast<std::size_t>(s))) {
+    if (e == Ev::kW1) order += '1';
+    if (e == Ev::kW2) order += '2';
+  }
+  return order;
+}
+
+bool Execution::well_formed() const {
+  for (const ServerLog& log : servers) {
+    std::set<Ev> seen;
+    for (Ev e : log) {
+      if (!seen.insert(e).second) return false;  // duplicate event
+    }
+    // Global round order: writes precede all read rounds; R1a and R2a
+    // precede both second rounds. (R1b/R2b may appear in either order:
+    // those are the swaps the chains perform.)
+    auto pos = [&](Ev e) {
+      const auto it = std::find(log.begin(), log.end(), e);
+      return it == log.end() ? -1
+                             : static_cast<int>(it - log.begin());
+    };
+    const int w1 = pos(Ev::kW1), w2 = pos(Ev::kW2);
+    const int r1a = pos(Ev::kR1a), r2a = pos(Ev::kR2a);
+    const int r1b = pos(Ev::kR1b), r2b = pos(Ev::kR2b);
+    for (const int w : {w1, w2}) {
+      for (const int r : {r1a, r2a, r1b, r2b}) {
+        if (w >= 0 && r >= 0 && r < w) return false;  // read before a write
+      }
+    }
+    for (const int a : {r1a, r2a}) {
+      for (const int b : {r1b, r2b}) {
+        if (a >= 0 && b >= 0 && b < a) return false;  // 2nd round before 1st
+      }
+    }
+    if (!has_r2 && (r2a >= 0 || r2b >= 0)) return false;
+  }
+  return true;
+}
+
+std::string Execution::to_string() const {
+  std::ostringstream os;
+  os << label << " (writes ";
+  switch (writes) {
+    case WriteRelation::kW1ThenW2:
+      os << "W1<W2";
+      break;
+    case WriteRelation::kConcurrent:
+      os << "W1||W2";
+      break;
+    case WriteRelation::kW2ThenW1:
+      os << "W2<W1";
+      break;
+  }
+  os << ")\n";
+  for (int s = 0; s < S(); ++s) {
+    os << "  s" << (s + 1) << ": ";
+    for (Ev e : servers[static_cast<std::size_t>(s)]) os << ev_name(e) << " ";
+    os << "\n";
+  }
+  return os.str();
+}
+
+ReadView view_of(const Execution& e, int reader) {
+  const Ev first = reader == 1 ? Ev::kR1a : Ev::kR2a;
+  const Ev second = reader == 1 ? Ev::kR1b : Ev::kR2b;
+  ReadView v;
+  for (int s = 0; s < e.S(); ++s) {
+    if (auto p = e.prefix_at(s, first)) v.first.replies.emplace_back(s, *p);
+    if (auto p = e.prefix_at(s, second)) v.second.replies.emplace_back(s, *p);
+  }
+  return v;
+}
+
+ReadView filter_other_first_round(const ReadView& v, int reader) {
+  const Ev other_first = reader == 1 ? Ev::kR2a : Ev::kR1a;
+  auto strip = [&](const RoundView& rv) {
+    RoundView out;
+    for (const auto& [s, log] : rv.replies) {
+      ServerLog stripped;
+      for (Ev e : log) {
+        if (e != other_first) stripped.push_back(e);
+      }
+      out.replies.emplace_back(s, std::move(stripped));
+    }
+    return out;
+  };
+  return ReadView{strip(v.first), strip(v.second)};
+}
+
+std::string ReadView::to_string() const {
+  std::ostringstream os;
+  auto dump = [&](const char* tag, const RoundView& rv) {
+    os << tag << ":";
+    for (const auto& [s, log] : rv.replies) {
+      os << " s" << (s + 1) << "[";
+      for (Ev e : log) os << ev_name(e) << ",";
+      os << "]";
+    }
+    os << "\n";
+  };
+  dump("rt1", first);
+  dump("rt2", second);
+  return os.str();
+}
+
+std::uint64_t ReadView::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t x) {
+    h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h *= 0x100000001b3ULL;
+  };
+  for (const RoundView* rv : {&first, &second}) {
+    mix(rv->replies.size());
+    for (const auto& [s, log] : rv->replies) {
+      mix(static_cast<std::uint64_t>(s) + 1000);
+      for (Ev e : log) mix(static_cast<std::uint64_t>(e) + 7);
+      mix(0xabcd);
+    }
+    mix(0xffff);
+  }
+  return h;
+}
+
+History to_history(const Execution& e, int r1_return, int r2_return) {
+  History h;
+  const TaggedValue v1{Tag{1, 101}, 1};
+  const TaggedValue v2{Tag{1, 102}, 2};
+  // Writes: [0,1]/[2,3] when sequential, [0,3] both when concurrent.
+  Time w1s = 0, w1f = 3, w2s = 0, w2f = 3;
+  if (e.writes == WriteRelation::kW1ThenW2) {
+    w1s = 0;
+    w1f = 1;
+    w2s = 2;
+    w2f = 3;
+  } else if (e.writes == WriteRelation::kW2ThenW1) {
+    w2s = 0;
+    w2f = 1;
+    w1s = 2;
+    w1f = 3;
+  }
+  const OpId w1 = h.begin_op(101, OpKind::kWrite, w1s);
+  const OpId w2 = h.begin_op(102, OpKind::kWrite, w2s);
+  // begin_op must be called in invocation order for well-formedness checks;
+  // our two writes share invocation times when concurrent, so order is fine.
+  h.end_op(w1, w1f, v1);
+  h.end_op(w2, w2f, v2);
+
+  // Reads: rounds are non-concurrent in the order R1a, R2a, R1b, R2b.
+  // R1 spans [10, 15], R2 spans [12, 17].
+  const OpId r1 = h.begin_op(201, OpKind::kRead, 10);
+  if (e.has_r2) {
+    const OpId r2 = h.begin_op(202, OpKind::kRead, 12);
+    h.end_op(r1, 15, r1_return == 1 ? v1 : v2);
+    h.end_op(r2, 17, r2_return == 1 ? v1 : v2);
+  } else {
+    h.end_op(r1, 15, r1_return == 1 ? v1 : v2);
+  }
+  return h;
+}
+
+History to_history_one_round(const Execution& e, int r1_return,
+                             int r2_return) {
+  History h;
+  const TaggedValue v1{Tag{1, 101}, 1};
+  const TaggedValue v2{Tag{1, 102}, 2};
+  Time w1s = 0, w1f = 3, w2s = 0, w2f = 3;
+  if (e.writes == WriteRelation::kW1ThenW2) {
+    w1f = 1;
+    w2s = 2;
+  } else if (e.writes == WriteRelation::kW2ThenW1) {
+    w2f = 1;
+    w1s = 2;
+  }
+  const OpId w1 = h.begin_op(101, OpKind::kWrite, w1s);
+  const OpId w2 = h.begin_op(102, OpKind::kWrite, w2s);
+  h.end_op(w1, w1f, v1);
+  h.end_op(w2, w2f, v2);
+  const OpId r1 = h.begin_op(201, OpKind::kRead, 10);
+  h.end_op(r1, 11, r1_return == 1 ? v1 : v2);
+  if (e.has_r2) {
+    const OpId r2 = h.begin_op(202, OpKind::kRead, 12);
+    h.end_op(r2, 13, r2_return == 1 ? v1 : v2);
+  }
+  return h;
+}
+
+}  // namespace mwreg::fullinfo

@@ -1,0 +1,115 @@
+// The full-info / crucial-info execution model of Sections 3 and 4.1.
+//
+// The impossibility proof reasons about executions containing exactly:
+//   W1 = write(1), W2 = write(2)          (one round-trip each: W1R2),
+//   R1 = read() with rounds R1a, R1b      (two round-trips),
+//   R2 = read() with rounds R2a, R2b.
+//
+// An execution is, per server, the RECEIVE ORDER of those events; a round
+// "skips" a server when its messages are delayed past the end of the
+// execution (the event is simply absent from that server's log). Servers are
+// full-info: they append everything and reply with their whole log, so a
+// reader's knowledge ("view") is, for each of its rounds, the set of
+// (server, log-prefix-at-reply-time) pairs it received.
+//
+// The global temporal order of rounds is fixed by the constructions:
+//   both writes complete, then R1a, R2a, R1b, R2b (non-concurrent rounds).
+// Whether W1 and W2 are concurrent *as operations* is a property of the
+// execution (the ends of chain alpha have sequential writes; the middle has
+// concurrent ones) and is recorded explicitly because atomicity constraints
+// depend on it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "consistency/history.h"
+
+namespace mwreg::fullinfo {
+
+enum class Ev : std::uint8_t { kW1, kW2, kR1a, kR2a, kR1b, kR2b };
+
+const char* ev_name(Ev e);
+
+using ServerLog = std::vector<Ev>;
+
+/// Temporal relation of the two write operations (Section 4.1's Rel1-Rel3).
+enum class WriteRelation : std::uint8_t {
+  kW1ThenW2,    // W1 precedes W2 (alpha-head style)
+  kConcurrent,  // W1 || W2
+  kW2ThenW1,    // W2 precedes W1 (alpha-tail style)
+};
+
+struct Execution {
+  std::string label;
+  std::vector<ServerLog> servers;
+  WriteRelation writes = WriteRelation::kConcurrent;
+  bool has_r2 = false;  ///< chain-alpha executions carry only R1
+
+  [[nodiscard]] int S() const { return static_cast<int>(servers.size()); }
+
+  /// True when server s receives event e at some point.
+  [[nodiscard]] bool receives(int s, Ev e) const;
+
+  /// The log prefix of server s up to and INCLUDING event e, or nullopt if
+  /// the server never receives e (the round skips it).
+  [[nodiscard]] std::optional<ServerLog> prefix_at(int s, Ev e) const;
+
+  /// The order in which server s received the two writes: "12", "21", "1",
+  /// "2" or "" (the crucial info of Section 4.1).
+  [[nodiscard]] std::string write_order(int s) const;
+
+  /// Well-formedness: event sets per server are consistent with the global
+  /// round order (a server receiving X also received every earlier
+  /// *non-skipped* round... in our constructions: prefixes respect the global
+  /// order W's < R1a < R2a < R1b < R2b except for explicitly swapped R1b/R2b)
+  /// and no event appears twice.
+  [[nodiscard]] bool well_formed() const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// One round's worth of reader knowledge: the (server, log-prefix) pairs the
+/// reader received, sorted by server id.
+struct RoundView {
+  std::vector<std::pair<int, ServerLog>> replies;
+  friend bool operator==(const RoundView&, const RoundView&) = default;
+};
+
+/// Everything a two-round reader knows when it must decide.
+struct ReadView {
+  RoundView first;
+  RoundView second;
+  friend bool operator==(const ReadView&, const ReadView&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::uint64_t digest() const;
+};
+
+/// The view of reader 1 or reader 2 in `e`. For each of the reader's rounds,
+/// every server whose log contains the round event contributes its prefix.
+ReadView view_of(const Execution& e, int reader);
+
+/// The Section 3.1 standing assumption ("the first round-trip of a read does
+/// not affect the return values of other reads"), expressed on views: erase
+/// the OTHER reader's first-round markers from every log prefix in the view.
+/// Decision rules defined over filtered views form exactly the class the
+/// chain argument of Section 3 covers; Section 4's sieve extends the result
+/// beyond it.
+ReadView filter_other_first_round(const ReadView& v, int reader);
+
+/// Convert an execution plus chosen return values into an operation history
+/// checkable by the atomicity checkers. W1 writes (tag (1,101), payload 1),
+/// W2 writes (tag (1,102), payload 2); reads return the corresponding value.
+/// r2_return is ignored when the execution has no R2. Returns in {1, 2}.
+History to_history(const Execution& e, int r1_return, int r2_return = 0);
+
+/// Same, but for ONE-round (fast) reads: R1 = [10,11] strictly precedes
+/// R2 = [12,13]. Used by the W1R1 chain, where sequential fast reads after
+/// completed writes must return equal values.
+History to_history_one_round(const Execution& e, int r1_return, int r2_return);
+
+}  // namespace mwreg::fullinfo

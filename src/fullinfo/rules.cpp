@@ -1,0 +1,106 @@
+#include "fullinfo/rules.h"
+
+#include <algorithm>
+
+namespace mwreg::fullinfo {
+namespace {
+
+std::string order_of(const ServerLog& log) {
+  std::string order;
+  for (Ev e : log) {
+    if (e == Ev::kW1) order += '1';
+    if (e == Ev::kW2) order += '2';
+  }
+  return order;
+}
+
+/// Count "12" vs "21" orders over a round's replies.
+std::pair<int, int> count_orders(const RoundView& rv) {
+  int n12 = 0, n21 = 0;
+  for (const auto& [s, log] : rv.replies) {
+    const std::string o = order_of(log);
+    if (o == "12") ++n12;
+    if (o == "21") ++n21;
+  }
+  return {n12, n21};
+}
+
+const RoundView& deciding_round(const ReadView& v) {
+  return v.second.replies.empty() ? v.first : v.second;
+}
+
+}  // namespace
+
+int MajorityOrderRule::decide_filtered(const ReadView& view) const {
+  const auto [n12, n21] = count_orders(deciding_round(view));
+  return n21 > n12 ? 1 : 2;
+}
+
+int UnanimousTwoOneRule::decide_filtered(const ReadView& view) const {
+  const auto [n12, n21] = count_orders(deciding_round(view));
+  return (n12 == 0 && n21 > 0) ? 1 : 2;
+}
+
+int AnyTwoOneRule::decide_filtered(const ReadView& view) const {
+  const auto [n12, n21] = count_orders(deciding_round(view));
+  (void)n12;
+  return n21 > 0 ? 1 : 2;
+}
+
+int FirstRoundMajorityRule::decide_filtered(const ReadView& view) const {
+  const auto [n12, n21] = count_orders(view.first);
+  return n21 > n12 ? 1 : 2;
+}
+
+int LeaderOrderRule::decide_filtered(const ReadView& view) const {
+  const RoundView& rv = deciding_round(view);
+  for (const auto& [s, log] : rv.replies) {  // replies sorted by server id
+    const std::string o = order_of(log);
+    if (o == "21") return 1;
+    if (o == "12") return 2;
+  }
+  return 2;
+}
+
+int MarkerCoordinationRule::decide_filtered(const ReadView& view) const {
+  const auto [n12, n21] = count_orders(deciding_round(view));
+  if (n21 == 0) return 2;
+  if (n12 == 0) return 1;
+  // Mixed view (the writes look concurrent): coordinate via the other
+  // reader's visible second-round markers -- if the other reader's second
+  // round is visible anywhere (it decided before us or alongside us), fall
+  // back to 1, otherwise 2.
+  for (const auto& [s, log] : deciding_round(view).replies) {
+    for (Ev e : log) {
+      if (e == Ev::kR1b || e == Ev::kR2b) return 1;
+    }
+  }
+  return 2;
+}
+
+int RandomizedRule::decide_filtered(const ReadView& view) const {
+  if (force_sane_ends_) {
+    const auto [n12a, n21a] = count_orders(view.first);
+    const auto [n12b, n21b] = count_orders(view.second);
+    if (n21a == 0 && n21b == 0) return 2;  // every heard server says W1<W2
+    if (n12a == 0 && n12b == 0) return 1;  // every heard server says W2<W1
+  }
+  std::uint64_t h = view.digest() ^ (seed_ * 0x9e3779b97f4a7c15ULL);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return (h & 1) ? 1 : 2;
+}
+
+std::vector<std::unique_ptr<DecisionRule>> standard_rules() {
+  std::vector<std::unique_ptr<DecisionRule>> rules;
+  rules.push_back(std::make_unique<MajorityOrderRule>());
+  rules.push_back(std::make_unique<UnanimousTwoOneRule>());
+  rules.push_back(std::make_unique<AnyTwoOneRule>());
+  rules.push_back(std::make_unique<FirstRoundMajorityRule>());
+  rules.push_back(std::make_unique<LeaderOrderRule>());
+  rules.push_back(std::make_unique<MarkerCoordinationRule>());
+  return rules;
+}
+
+}  // namespace mwreg::fullinfo

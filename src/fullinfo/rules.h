@@ -1,0 +1,131 @@
+// Candidate reader decision rules for W1R2 implementations.
+//
+// A decision rule is the reader side of a (hypothetical) fast-write
+// implementation in the full-info model: a function from the reader's view
+// to a return value in {1, 2}. Theorem 1 says NO rule yields an atomic
+// register; the chain engine (src/chains) produces, for any given rule, a
+// concrete execution whose history the Wing-Gong checker rejects.
+//
+// All rules here are "first-round invariant": they decide on the view with
+// the other reader's first-round markers erased (the standing assumption of
+// Section 3.1, lifted by the sieve of Section 4). RandomizedRule generates
+// arbitrary such functions from a seed, which lets property tests quantify
+// over thousands of rules.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fullinfo/execution.h"
+
+namespace mwreg::fullinfo {
+
+class DecisionRule {
+ public:
+  virtual ~DecisionRule() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Decide from the reader's (unfiltered) view; `reader` is 1 or 2.
+  [[nodiscard]] int decide(const ReadView& view, int reader) const {
+    return decide_filtered(filter_other_first_round(view, reader));
+  }
+
+ protected:
+  /// Implementations see the filtered view only (first-round invariance).
+  [[nodiscard]] virtual int decide_filtered(const ReadView& view) const = 0;
+};
+
+/// Majority of per-server write orders in the final round: more servers
+/// reporting "12" than "21" -> return 2 (W2 is newest), ties -> 2.
+/// The most natural "count the quorum" rule.
+class MajorityOrderRule final : public DecisionRule {
+ public:
+  [[nodiscard]] std::string name() const override { return "majority-order"; }
+
+ protected:
+  [[nodiscard]] int decide_filtered(const ReadView& view) const override;
+};
+
+/// Return 1 only if EVERY heard server reports "21"; otherwise 2.
+/// (Treats Rel2 as "cannot rule out W1 < W2, so return 2".)
+class UnanimousTwoOneRule final : public DecisionRule {
+ public:
+  [[nodiscard]] std::string name() const override { return "unanimous-21"; }
+
+ protected:
+  [[nodiscard]] int decide_filtered(const ReadView& view) const override;
+};
+
+/// Return 1 if ANY heard server reports "21"; otherwise 2.
+class AnyTwoOneRule final : public DecisionRule {
+ public:
+  [[nodiscard]] std::string name() const override { return "any-21"; }
+
+ protected:
+  [[nodiscard]] int decide_filtered(const ReadView& view) const override;
+};
+
+/// Decide from the first round only (ignores the second round entirely --
+/// effectively a fast READER inside a fast-write protocol).
+class FirstRoundMajorityRule final : public DecisionRule {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "first-round-majority";
+  }
+
+ protected:
+  [[nodiscard]] int decide_filtered(const ReadView& view) const override;
+};
+
+/// The lowest-indexed heard server acts as a leader; its order decides.
+class LeaderOrderRule final : public DecisionRule {
+ public:
+  [[nodiscard]] std::string name() const override { return "leader-order"; }
+
+ protected:
+  [[nodiscard]] int decide_filtered(const ReadView& view) const override;
+};
+
+/// A coordination-aware rule: on a mixed (Rel2-looking) view, use the other
+/// reader's SECOND-round markers to break the tie deterministically (both
+/// readers see compatible marker patterns, so this is the natural "readers
+/// coordinate through the servers" attempt from Section 4.1).
+class MarkerCoordinationRule final : public DecisionRule {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "marker-coordination";
+  }
+
+ protected:
+  [[nodiscard]] int decide_filtered(const ReadView& view) const override;
+};
+
+/// A deterministic but arbitrary function of the view, derived from a seed:
+/// hash(view, seed) -> {1,2}, except it respects the two executions atomicity
+/// pins outright (all-"12" sequential-looking views -> 2, all-"21" -> 1) so
+/// that random rules exercise the deep phases of the chain argument rather
+/// than failing at the alpha ends. With force_sane_ends=false even that is
+/// random.
+class RandomizedRule final : public DecisionRule {
+ public:
+  explicit RandomizedRule(std::uint64_t seed, bool force_sane_ends = true)
+      : seed_(seed), force_sane_ends_(force_sane_ends) {}
+  [[nodiscard]] std::string name() const override {
+    return "randomized-" + std::to_string(seed_) +
+           (force_sane_ends_ ? "" : "-wild");
+  }
+
+ protected:
+  [[nodiscard]] int decide_filtered(const ReadView& view) const override;
+
+ private:
+  std::uint64_t seed_;
+  bool force_sane_ends_;
+};
+
+/// The standard library of named candidate rules (excluding randomized).
+std::vector<std::unique_ptr<DecisionRule>> standard_rules();
+
+}  // namespace mwreg::fullinfo

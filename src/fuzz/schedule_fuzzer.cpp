@@ -1,0 +1,95 @@
+#include "fuzz/schedule_fuzzer.h"
+
+#include <memory>
+#include <vector>
+
+#include "consistency/checkers.h"
+#include "consistency/weak_checkers.h"
+#include "core/harness.h"
+#include "core/workload.h"
+#include "protocols/protocols.h"
+
+namespace mwreg::fuzz {
+namespace {
+
+/// Temporarily cut one random server off from one random client, honoring
+/// the budget: per client at most t servers blocked at a time.
+void schedule_link_flaps(SimHarness& h, int flaps, Rng& rng) {
+  const ClusterConfig& cfg = h.cfg();
+  const Duration horizon = 400 * kMillisecond;
+  for (int i = 0; i < flaps; ++i) {
+    const Time at = rng.next_in(0, horizon);
+    const Duration len = rng.next_in(5 * kMillisecond, 60 * kMillisecond);
+    const NodeId server = static_cast<NodeId>(rng.next_below(
+        static_cast<std::uint64_t>(cfg.s())));
+    const std::vector<NodeId> clients = cfg.client_ids();
+    const NodeId client = clients[rng.next_below(clients.size())];
+    h.sim().schedule_at(at, [&h, server, client, len]() {
+      // Budget check: count servers currently cut from this client.
+      int blocked = 0;
+      for (NodeId sv : h.cfg().server_ids()) {
+        blocked += h.net().link_blocked(sv, client);
+      }
+      if (blocked >= h.cfg().t()) return;  // would exceed the failure budget
+      h.net().block_pair(server, client);
+      h.sim().schedule_after(len, [&h, server, client]() {
+        h.net().unblock_pair(server, client);
+      });
+    });
+  }
+}
+
+CheckResult check_expected(const History& hist, const std::string& expect) {
+  if (expect == "regular") return check_regular(hist);
+  if (expect == "safe") return check_safe(hist);
+  return check_tag_witness(hist);
+}
+
+}  // namespace
+
+FuzzReport run_schedule_fuzzer(const FuzzOptions& opts) {
+  FuzzReport report;
+  Rng master(opts.seed);
+  const Protocol* proto = protocol_by_name(opts.protocol);
+  if (proto == nullptr) {
+    report.first_violation = "unknown protocol: " + opts.protocol;
+    return report;
+  }
+  for (int trial = 0; trial < opts.trials; ++trial) {
+    ++report.trials;
+    Rng rng = master.fork();
+    SimHarness::Options o;
+    o.cfg = opts.cfg;
+    o.seed = rng.next();
+    // Heavy-tailed delays widen the schedule space.
+    o.delay = std::make_unique<LogNormalDelay>(3 * kMillisecond, 1.2);
+    SimHarness h(*proto, std::move(o));
+
+    schedule_link_flaps(h, opts.link_flaps, rng);
+
+    WorkloadOptions w;
+    w.ops_per_writer = opts.ops_per_client;
+    w.ops_per_reader = opts.ops_per_client;
+    w.think_hi = 15 * kMillisecond;
+    if (rng.next_bool(opts.crash_probability)) {
+      w.crash_servers = opts.cfg.t();
+      w.crash_after_ops = opts.ops_per_client;
+    }
+    run_random_workload(h, w);
+
+    report.total_ops += h.history().size();
+    report.pending_ops += h.history().size() - h.history().completed_count();
+    const CheckResult res = check_expected(h.history(), opts.expect);
+    if (res.atomic) {
+      ++report.passed;
+    } else {
+      ++report.violations;
+      if (report.first_violation.empty()) {
+        report.first_violation = res.violation + "\n" + h.history().to_string();
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace mwreg::fuzz

@@ -1,0 +1,44 @@
+// Schedule fuzzing: randomized exploration of message schedules and fault
+// patterns, with every produced history machine-checked.
+//
+// Each trial runs a random closed-loop workload under a heavy-tailed delay
+// model, while an adversary thread of events randomly blocks/unblocks
+// client-server links (within the failure budget: at most t servers are cut
+// from any client at a time) and optionally crashes up to t servers. This
+// explores delivery-order interleavings far beyond what fixed-seed tests
+// reach -- the cheap, honest cousin of a full schedule model checker.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/cluster.h"
+
+namespace mwreg::fuzz {
+
+struct FuzzOptions {
+  std::string protocol = "mw-abd(W2R2)";
+  ClusterConfig cfg{5, 2, 2, 2};
+  int trials = 50;
+  int ops_per_client = 8;
+  /// Probability that a trial crashes exactly t random servers mid-run.
+  double crash_probability = 0.3;
+  /// Number of random block/unblock adversary events per trial.
+  int link_flaps = 20;
+  std::uint64_t seed = 1;
+  /// Expected guarantee: "atomic", "regular" or "safe".
+  std::string expect = "atomic";
+};
+
+struct FuzzReport {
+  int trials = 0;
+  int passed = 0;
+  int violations = 0;
+  std::uint64_t total_ops = 0;
+  std::uint64_t pending_ops = 0;  ///< ops stalled by fault injection (allowed)
+  std::string first_violation;    ///< history + verdict of the first failure
+};
+
+FuzzReport run_schedule_fuzzer(const FuzzOptions& opts);
+
+}  // namespace mwreg::fuzz

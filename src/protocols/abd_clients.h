@@ -1,0 +1,109 @@
+// Clients of the ABD family.
+//
+//  - TwoRoundWriter: query max tag, then update with (maxTS+1, wid).
+//    The multi-writer write of LS97 (the paper's W2R2 row).
+//  - LocalTsWriter: bump a writer-local timestamp and update in ONE
+//    round-trip. Correct with a single writer (ABD'95); with multiple
+//    writers this is the natural "fast write" strawman whose histories the
+//    checker rejects — exactly what Theorem 1 says must happen.
+//  - TwoRoundReader: query max value, write it back, return it.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+
+#include "core/register.h"
+#include "core/rpc_client.h"
+#include "protocols/messages.h"
+
+namespace mwreg {
+
+class TwoRoundWriter final : public RpcClient, public WriterApi {
+ public:
+  TwoRoundWriter(NodeId id, Network& net, const ClusterConfig& cfg)
+      : RpcClient(id, net, cfg) {}
+
+  void write(std::int64_t payload, std::function<void(Tag)> done) override {
+    // RT 1: discover the highest tag on a quorum.
+    round_trip(kAbdReadReq, {},
+               [this, payload, done = std::move(done)](
+                   std::vector<ServerReply> replies) mutable {
+                 Tag max = kBottomTag;
+                 for (const ServerReply& r : replies) {
+                   max = std::max(max, decode_value(r.payload).tag);
+                 }
+                 const Tag tag{max.ts + 1, id()};
+                 // RT 2: install the new value on a quorum.
+                 round_trip(kAbdWriteReq,
+                            encode_value(TaggedValue{tag, payload}),
+                            [tag, done = std::move(done)](
+                                std::vector<ServerReply>) { done(tag); });
+               });
+  }
+};
+
+class LocalTsWriter final : public RpcClient, public WriterApi {
+ public:
+  LocalTsWriter(NodeId id, Network& net, const ClusterConfig& cfg)
+      : RpcClient(id, net, cfg) {}
+
+  void write(std::int64_t payload, std::function<void(Tag)> done) override {
+    const Tag tag{++ts_, id()};
+    round_trip(kAbdWriteReq, encode_value(TaggedValue{tag, payload}),
+               [tag, done = std::move(done)](std::vector<ServerReply>) {
+                 done(tag);
+               });
+  }
+
+ private:
+  std::int64_t ts_ = 0;
+};
+
+/// One round-trip, no write-back: return the max value seen on a quorum.
+/// This is what quorum stores give you when reads are required to be fast
+/// without the paper's machinery (the Cassandra practice from Section 1):
+/// REGULAR -- a read never misses a completed write -- but not atomic, since
+/// two reads overlapping a write can see new-then-old.
+class OneRoundMaxReader final : public RpcClient, public ReaderApi {
+ public:
+  OneRoundMaxReader(NodeId id, Network& net, const ClusterConfig& cfg)
+      : RpcClient(id, net, cfg) {}
+
+  void read(std::function<void(TaggedValue)> done) override {
+    round_trip(kAbdReadReq, {},
+               [done = std::move(done)](std::vector<ServerReply> replies) {
+                 TaggedValue best{};
+                 for (const ServerReply& r : replies) {
+                   const TaggedValue v = decode_value(r.payload);
+                   if (v.tag > best.tag) best = v;
+                 }
+                 done(best);
+               });
+  }
+};
+
+class TwoRoundReader final : public RpcClient, public ReaderApi {
+ public:
+  TwoRoundReader(NodeId id, Network& net, const ClusterConfig& cfg)
+      : RpcClient(id, net, cfg) {}
+
+  void read(std::function<void(TaggedValue)> done) override {
+    // RT 1: collect values from a quorum, pick the max.
+    round_trip(kAbdReadReq, {},
+               [this, done = std::move(done)](
+                   std::vector<ServerReply> replies) mutable {
+                 TaggedValue best{};
+                 for (const ServerReply& r : replies) {
+                   const TaggedValue v = decode_value(r.payload);
+                   if (v.tag > best.tag) best = v;
+                 }
+                 // RT 2: write back so later reads cannot see older values
+                 // ("atomic reads must write").
+                 round_trip(kAbdWriteReq, encode_value(best),
+                            [best, done = std::move(done)](
+                                std::vector<ServerReply>) { done(best); });
+               });
+  }
+};
+
+}  // namespace mwreg

@@ -1,0 +1,119 @@
+#include "protocols/fastread_clients.h"
+
+#include <cassert>
+
+namespace mwreg {
+namespace {
+
+/// DFS over client subsets T (|T| = a) checking that T is contained in at
+/// least `need` of the updated sets. Client universes are tiny (W + R + 1),
+/// and candidates are pruned to clients individually present in >= need sets.
+bool exists_common_subset(const std::vector<std::uint64_t>& sets, int a,
+                          int need) {
+  if (static_cast<int>(sets.size()) < need) return false;
+  if (a == 0) return true;
+
+  // Candidate clients: those appearing in at least `need` sets.
+  std::vector<int> cands;
+  for (int c = 0; c < 64; ++c) {
+    const std::uint64_t bit = 1ULL << c;
+    int cnt = 0;
+    for (std::uint64_t s : sets) {
+      if (s & bit) ++cnt;
+    }
+    if (cnt >= need) cands.push_back(c);
+  }
+  if (static_cast<int>(cands.size()) < a) return false;
+
+  // Choose `a` candidates; maintain the list of sets containing all chosen.
+  struct Frame {
+    std::vector<std::uint64_t> live;
+    std::size_t next_cand;
+    int chosen;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{sets, 0, 0});
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    if (f.chosen == a) return true;
+    for (std::size_t i = f.next_cand; i < cands.size(); ++i) {
+      const std::uint64_t bit = 1ULL << cands[i];
+      std::vector<std::uint64_t> live;
+      live.reserve(f.live.size());
+      for (std::uint64_t s : f.live) {
+        if (s & bit) live.push_back(s);
+      }
+      if (static_cast<int>(live.size()) < need) continue;
+      // Enough candidates left to complete the subset?
+      if (f.chosen + 1 + static_cast<int>(cands.size() - i - 1) < a) break;
+      stack.push_back(Frame{std::move(live), i + 1, f.chosen + 1});
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool admissible(const TaggedValue& v,
+                const std::vector<std::vector<FrEntry>>& msgs, int a,
+                int num_servers, int max_faulty) {
+  // mu must be nonempty (an empty witness set would make everything
+  // admissible); in valid configurations S - a*t > t >= 1 anyway.
+  const int need = std::max(1, num_servers - a * max_faulty);
+  // Collect, per message that "has v", the updated set for v as a bitmask.
+  std::vector<std::uint64_t> sets;
+  sets.reserve(msgs.size());
+  for (const std::vector<FrEntry>& m : msgs) {
+    for (const FrEntry& e : m) {
+      if (e.value == v) {
+        std::uint64_t mask = 0;
+        for (NodeId c : e.updated) {
+          assert(c >= 0 && c < 64);
+          mask |= 1ULL << c;
+        }
+        sets.push_back(mask);
+        break;
+      }
+    }
+  }
+  return exists_common_subset(sets, a, need);
+}
+
+void FastReader::read(std::function<void(TaggedValue)> done) {
+  std::vector<TaggedValue> queue(val_queue_.begin(), val_queue_.end());
+  round_trip(
+      kFrReadReq, encode_value_list(queue),
+      [this, done = std::move(done)](std::vector<ServerReply> replies) {
+        std::vector<std::vector<FrEntry>> msgs;
+        msgs.reserve(replies.size());
+        for (const ServerReply& r : replies) {
+          msgs.push_back(decode_entries(r.payload));
+        }
+        // valQueue <- all values in rcvMsg, union previous queue.
+        std::set<TaggedValue> candidates;
+        for (const auto& m : msgs) {
+          for (const FrEntry& e : m) {
+            val_queue_.insert(e.value);
+            candidates.insert(e.value);
+          }
+        }
+        // Return the largest admissible candidate. Lemma 3 guarantees the
+        // loop terminates: the max of the valQueue we sent is admissible
+        // with degree 1, since every server confirmed it before replying.
+        while (!candidates.empty()) {
+          const TaggedValue v = *candidates.rbegin();
+          for (int a = 1; a <= cfg().r() + 1; ++a) {
+            if (admissible(v, msgs, a, cfg().s(), cfg().t())) {
+              done(v);
+              return;
+            }
+          }
+          candidates.erase(v);
+        }
+        // Unreachable in a correct configuration; return bottom defensively.
+        done(TaggedValue{});
+      });
+}
+
+}  // namespace mwreg

@@ -1,0 +1,90 @@
+// Clients of the paper's Algorithm 1 (Appendix A).
+//
+//  - FastReader: ONE round-trip read. Sends its valQueue, collects READACKs
+//    from S - t servers, and returns the largest value that is
+//    admissible(v, rcvMsg, a) for some a in [1, R+1].
+//  - QueryThenWriter: the paper's two-round-trip multi-writer write (query
+//    maxTS, then update (maxTS+1, wid)).
+//  - LocalTsFrWriter: single-writer one-round-trip write (Dutta et al. [12]);
+//    together with FastReader this is the W1R1 single-writer protocol.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/register.h"
+#include "core/rpc_client.h"
+#include "protocols/messages.h"
+
+namespace mwreg {
+
+/// Decide admissibility: exists mu subset of the READACKs such that every
+/// message in mu contains v, |mu| >= S - a*t, and at least `a` clients are in
+/// every chosen message's updated set for v. Equivalently: exists a set T of
+/// `a` clients with T contained in at least S - a*t of v's updated sets.
+bool admissible(const TaggedValue& v,
+                const std::vector<std::vector<FrEntry>>& msgs, int a,
+                int num_servers, int max_faulty);
+
+class FastReader final : public RpcClient, public ReaderApi {
+ public:
+  FastReader(NodeId id, Network& net, const ClusterConfig& cfg)
+      : RpcClient(id, net, cfg) {
+    val_queue_.insert(TaggedValue{});  // (0, bottom)
+  }
+
+  void read(std::function<void(TaggedValue)> done) override;
+
+  /// Exposed for tests: the reader's accumulated knowledge.
+  [[nodiscard]] const std::set<TaggedValue>& val_queue() const {
+    return val_queue_;
+  }
+
+ private:
+  std::set<TaggedValue> val_queue_;
+};
+
+class QueryThenWriter final : public RpcClient, public WriterApi {
+ public:
+  QueryThenWriter(NodeId id, Network& net, const ClusterConfig& cfg)
+      : RpcClient(id, net, cfg) {}
+
+  void write(std::int64_t payload, std::function<void(Tag)> done) override {
+    round_trip(kFrQueryReq, {},
+               [this, payload, done = std::move(done)](
+                   std::vector<ServerReply> replies) mutable {
+                 std::int64_t max_ts = 0;
+                 for (const ServerReply& r : replies) {
+                   max_ts = std::max(max_ts, decode_tag(r.payload).ts);
+                 }
+                 const Tag tag{max_ts + 1, id()};
+                 round_trip(kFrWriteReq,
+                            encode_value(TaggedValue{tag, payload}),
+                            [tag, done = std::move(done)](
+                                std::vector<ServerReply>) { done(tag); });
+               });
+  }
+};
+
+class LocalTsFrWriter final : public RpcClient, public WriterApi {
+ public:
+  LocalTsFrWriter(NodeId id, Network& net, const ClusterConfig& cfg)
+      : RpcClient(id, net, cfg) {}
+
+  void write(std::int64_t payload, std::function<void(Tag)> done) override {
+    const Tag tag{++ts_, id()};
+    round_trip(kFrWriteReq, encode_value(TaggedValue{tag, payload}),
+               [tag, done = std::move(done)](std::vector<ServerReply>) {
+                 done(tag);
+               });
+  }
+
+ private:
+  std::int64_t ts_ = 0;
+};
+
+}  // namespace mwreg

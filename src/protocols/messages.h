@@ -1,0 +1,105 @@
+// Wire messages shared by the register protocols.
+//
+// Two families:
+//  - the ABD/quorum family (MW-ABD, SWMR-ABD, the fast-write strawman):
+//    servers keep only the max tagged value;
+//  - the fast-read family (the paper's Algorithm 2 servers): servers keep a
+//    value vector with per-value `updated` sets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/tag.h"
+#include "sim/message.h"
+
+namespace mwreg {
+
+enum MsgTypes : MsgType {
+  // ABD family
+  kAbdReadReq = 1,   // client -> server: query current value
+  kAbdReadAck = 2,   // server -> client: TaggedValue
+  kAbdWriteReq = 3,  // client -> server: store TaggedValue
+  kAbdWriteAck = 4,  // server -> client: ack
+
+  // Fast-read family (Algorithm 1 & 2)
+  kFrQueryReq = 10,  // writer -> server: query max timestamp (write RT 1)
+  kFrQueryAck = 11,  // server -> writer: Tag
+  kFrWriteReq = 12,  // writer -> server: store TaggedValue (write RT 2)
+  kFrWriteAck = 13,  // server -> writer: ack
+  kFrReadReq = 14,   // reader -> server: valQueue
+  kFrReadAck = 15,   // server -> reader: value vector with updated sets
+};
+
+// ---- ABD family payloads ----
+
+inline std::vector<std::uint8_t> encode_value(const TaggedValue& v) {
+  ByteWriter w;
+  w.put_value(v);
+  return w.take();
+}
+
+inline TaggedValue decode_value(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  return r.get_value();
+}
+
+// ---- Fast-read family payloads ----
+
+/// One valuevector entry: a value plus the set of clients in its updated set
+/// (Algorithm 2's valuevector[val].updated).
+struct FrEntry {
+  TaggedValue value;
+  std::vector<NodeId> updated;  // sorted
+};
+
+inline std::vector<std::uint8_t> encode_tag(const Tag& t) {
+  ByteWriter w;
+  w.put_tag(t);
+  return w.take();
+}
+
+inline Tag decode_tag(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  return r.get_tag();
+}
+
+inline std::vector<std::uint8_t> encode_value_list(
+    const std::vector<TaggedValue>& vals) {
+  ByteWriter w;
+  w.put_vector(vals, [](ByteWriter& bw, const TaggedValue& v) { bw.put_value(v); });
+  return w.take();
+}
+
+inline std::vector<TaggedValue> decode_value_list(
+    const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  return r.get_vector<TaggedValue>(
+      [](ByteReader& br) { return br.get_value(); });
+}
+
+inline std::vector<std::uint8_t> encode_entries(
+    const std::vector<FrEntry>& entries) {
+  ByteWriter w;
+  w.put_vector(entries, [](ByteWriter& bw, const FrEntry& e) {
+    bw.put_value(e.value);
+    bw.put_vector(e.updated,
+                  [](ByteWriter& bw2, NodeId id) { bw2.put_signed(id); });
+  });
+  return w.take();
+}
+
+inline std::vector<FrEntry> decode_entries(
+    const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  return r.get_vector<FrEntry>([](ByteReader& br) {
+    FrEntry e;
+    e.value = br.get_value();
+    e.updated = br.get_vector<NodeId>(
+        [](ByteReader& br2) { return static_cast<NodeId>(br2.get_signed()); });
+    return e;
+  });
+}
+
+}  // namespace mwreg

@@ -1,0 +1,138 @@
+#include "protocols/protocols.h"
+
+#include "protocols/abd_clients.h"
+#include "protocols/fastread_clients.h"
+#include "protocols/fastread_server.h"
+#include "protocols/quorum_server.h"
+
+namespace mwreg {
+
+// ---- MwAbd (W2R2) ----
+
+std::unique_ptr<Process> MwAbdProtocol::make_server(
+    NodeId id, Network& net, const ClusterConfig& cfg) const {
+  return std::make_unique<QuorumServer>(id, net, cfg);
+}
+std::unique_ptr<WriterApi> MwAbdProtocol::make_writer(
+    NodeId id, Network& net, const ClusterConfig& cfg) const {
+  return std::make_unique<TwoRoundWriter>(id, net, cfg);
+}
+std::unique_ptr<ReaderApi> MwAbdProtocol::make_reader(
+    NodeId id, Network& net, const ClusterConfig& cfg) const {
+  return std::make_unique<TwoRoundReader>(id, net, cfg);
+}
+
+// ---- AbdSwmr (W1R2) ----
+
+std::unique_ptr<Process> AbdSwmrProtocol::make_server(
+    NodeId id, Network& net, const ClusterConfig& cfg) const {
+  return std::make_unique<QuorumServer>(id, net, cfg);
+}
+std::unique_ptr<WriterApi> AbdSwmrProtocol::make_writer(
+    NodeId id, Network& net, const ClusterConfig& cfg) const {
+  return std::make_unique<LocalTsWriter>(id, net, cfg);
+}
+std::unique_ptr<ReaderApi> AbdSwmrProtocol::make_reader(
+    NodeId id, Network& net, const ClusterConfig& cfg) const {
+  return std::make_unique<TwoRoundReader>(id, net, cfg);
+}
+
+// ---- NaiveFastWrite (W1R2 strawman) ----
+
+std::unique_ptr<Process> NaiveFastWriteProtocol::make_server(
+    NodeId id, Network& net, const ClusterConfig& cfg) const {
+  return std::make_unique<QuorumServer>(id, net, cfg);
+}
+std::unique_ptr<WriterApi> NaiveFastWriteProtocol::make_writer(
+    NodeId id, Network& net, const ClusterConfig& cfg) const {
+  return std::make_unique<LocalTsWriter>(id, net, cfg);
+}
+std::unique_ptr<ReaderApi> NaiveFastWriteProtocol::make_reader(
+    NodeId id, Network& net, const ClusterConfig& cfg) const {
+  return std::make_unique<TwoRoundReader>(id, net, cfg);
+}
+
+// ---- FastReadMw (W2R1, the paper's Algorithm 1 & 2) ----
+
+std::unique_ptr<Process> FastReadMwProtocol::make_server(
+    NodeId id, Network& net, const ClusterConfig& cfg) const {
+  return std::make_unique<FastReadServer>(id, net, cfg);
+}
+std::unique_ptr<WriterApi> FastReadMwProtocol::make_writer(
+    NodeId id, Network& net, const ClusterConfig& cfg) const {
+  return std::make_unique<QueryThenWriter>(id, net, cfg);
+}
+std::unique_ptr<ReaderApi> FastReadMwProtocol::make_reader(
+    NodeId id, Network& net, const ClusterConfig& cfg) const {
+  return std::make_unique<FastReader>(id, net, cfg);
+}
+
+// ---- LiteralFastReadMw (pseudocode-as-printed ablation) ----
+
+std::unique_ptr<Process> LiteralFastReadMwProtocol::make_server(
+    NodeId id, Network& net, const ClusterConfig& cfg) const {
+  return std::make_unique<FastReadServer>(id, net, cfg,
+                                          /*confirm_reported=*/false);
+}
+std::unique_ptr<WriterApi> LiteralFastReadMwProtocol::make_writer(
+    NodeId id, Network& net, const ClusterConfig& cfg) const {
+  return std::make_unique<QueryThenWriter>(id, net, cfg);
+}
+std::unique_ptr<ReaderApi> LiteralFastReadMwProtocol::make_reader(
+    NodeId id, Network& net, const ClusterConfig& cfg) const {
+  return std::make_unique<FastReader>(id, net, cfg);
+}
+
+// ---- RegularFastRead (W2R1, regular-only baseline) ----
+
+std::unique_ptr<Process> RegularFastReadProtocol::make_server(
+    NodeId id, Network& net, const ClusterConfig& cfg) const {
+  return std::make_unique<QuorumServer>(id, net, cfg);
+}
+std::unique_ptr<WriterApi> RegularFastReadProtocol::make_writer(
+    NodeId id, Network& net, const ClusterConfig& cfg) const {
+  return std::make_unique<TwoRoundWriter>(id, net, cfg);
+}
+std::unique_ptr<ReaderApi> RegularFastReadProtocol::make_reader(
+    NodeId id, Network& net, const ClusterConfig& cfg) const {
+  return std::make_unique<OneRoundMaxReader>(id, net, cfg);
+}
+
+// ---- FastSwmr (W1R1) ----
+
+std::unique_ptr<Process> FastSwmrProtocol::make_server(
+    NodeId id, Network& net, const ClusterConfig& cfg) const {
+  return std::make_unique<FastReadServer>(id, net, cfg);
+}
+std::unique_ptr<WriterApi> FastSwmrProtocol::make_writer(
+    NodeId id, Network& net, const ClusterConfig& cfg) const {
+  return std::make_unique<LocalTsFrWriter>(id, net, cfg);
+}
+std::unique_ptr<ReaderApi> FastSwmrProtocol::make_reader(
+    NodeId id, Network& net, const ClusterConfig& cfg) const {
+  return std::make_unique<FastReader>(id, net, cfg);
+}
+
+// ---- Registry ----
+
+std::vector<const Protocol*> all_protocols() {
+  static const MwAbdProtocol mw_abd;
+  static const AbdSwmrProtocol abd_swmr;
+  static const NaiveFastWriteProtocol naive;
+  static const FastReadMwProtocol fast_read;
+  static const FastSwmrProtocol fast_swmr;
+  static const RegularFastReadProtocol regular_fast;
+  static const LiteralFastReadMwProtocol literal_fast_read;
+  return {&mw_abd,    &abd_swmr,     &naive,
+          &fast_read, &fast_swmr,    &regular_fast,
+          &literal_fast_read};
+}
+
+const Protocol* protocol_by_name(const std::string& name) {
+  for (const Protocol* p : all_protocols()) {
+    if (p->name() == name) return p;
+  }
+  return nullptr;
+}
+
+}  // namespace mwreg

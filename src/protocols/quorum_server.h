@@ -1,0 +1,38 @@
+// Server replica for the ABD family: keeps the maximum tagged value.
+#pragma once
+
+#include "common/tag.h"
+#include "core/server_base.h"
+#include "protocols/messages.h"
+
+namespace mwreg {
+
+class QuorumServer final : public ServerBase {
+ public:
+  QuorumServer(NodeId id, Network& net, const ClusterConfig& cfg)
+      : ServerBase(id, net, cfg) {}
+
+  [[nodiscard]] const TaggedValue& stored() const { return value_; }
+
+ protected:
+  void handle_request(const Message& req) override {
+    switch (req.type) {
+      case kAbdReadReq:
+        reply(req, kAbdReadAck, encode_value(value_));
+        break;
+      case kAbdWriteReq: {
+        const TaggedValue v = decode_value(req.payload);
+        if (v.tag > value_.tag) value_ = v;
+        reply(req, kAbdWriteAck, {});
+        break;
+      }
+      default:
+        break;  // not ours; a different protocol's message would be a bug
+    }
+  }
+
+ private:
+  TaggedValue value_{};  // starts at the bottom value
+};
+
+}  // namespace mwreg

@@ -1,0 +1,36 @@
+#include "sim/delay_model.h"
+
+#include <cmath>
+#include <utility>
+
+namespace mwreg {
+
+Duration LogNormalDelay::sample(NodeId, NodeId, Rng& rng) {
+  // Box-Muller. Two uniforms -> one normal; we discard the sibling to keep
+  // the stream consumption simple and deterministic.
+  const double u1 = 1.0 - rng.next_double();  // (0, 1]
+  const double u2 = rng.next_double();
+  const double n = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  const double factor = std::exp(sigma_ * n);
+  const double d = static_cast<double>(median_) * factor;
+  return d < 1.0 ? 1 : static_cast<Duration>(d);
+}
+
+GeoDelay::GeoDelay(std::vector<std::vector<double>> rtt_ms,
+                   std::vector<int> site_of, double jitter_fraction)
+    : rtt_ms_(std::move(rtt_ms)),
+      site_of_(std::move(site_of)),
+      jitter_fraction_(jitter_fraction) {}
+
+Duration GeoDelay::sample(NodeId src, NodeId dst, Rng& rng) {
+  const int a = site_of_.at(static_cast<std::size_t>(src));
+  const int b = site_of_.at(static_cast<std::size_t>(dst));
+  const double one_way_ms = rtt_ms_.at(static_cast<std::size_t>(a))
+                                .at(static_cast<std::size_t>(b)) /
+                            2.0;
+  const double jitter = 1.0 + jitter_fraction_ * rng.next_double();
+  const double ns = one_way_ms * jitter * static_cast<double>(kMillisecond);
+  return ns < 1.0 ? 1 : static_cast<Duration>(ns);
+}
+
+}  // namespace mwreg

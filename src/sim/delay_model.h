@@ -1,0 +1,78 @@
+// Message delay distributions.
+//
+// The proofs in the paper only depend on ordering, but the latency
+// experiments (Fig. 2) need realistic one-way delay distributions. Every
+// model is deterministic given the Rng stream.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace mwreg {
+
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+  /// One-way delay for a message src -> dst.
+  virtual Duration sample(NodeId src, NodeId dst, Rng& rng) = 0;
+};
+
+/// Every message takes exactly `delay`. Round-trip latency is then exactly
+/// 2*delay per round-trip, which makes the factor-of-two between fast and
+/// slow operations exact.
+class ConstantDelay final : public DelayModel {
+ public:
+  explicit ConstantDelay(Duration delay) : delay_(delay) {}
+  Duration sample(NodeId, NodeId, Rng&) override { return delay_; }
+
+ private:
+  Duration delay_;
+};
+
+/// Uniform in [lo, hi].
+class UniformDelay final : public DelayModel {
+ public:
+  UniformDelay(Duration lo, Duration hi) : lo_(lo), hi_(hi) {}
+  Duration sample(NodeId, NodeId, Rng& rng) override {
+    return rng.next_in(lo_, hi_);
+  }
+
+ private:
+  Duration lo_, hi_;
+};
+
+/// Heavy-tailed delay: median * exp(sigma * N(0,1)). A common fit for
+/// datacenter RTT tails.
+class LogNormalDelay final : public DelayModel {
+ public:
+  LogNormalDelay(Duration median, double sigma)
+      : median_(median), sigma_(sigma) {}
+  Duration sample(NodeId, NodeId, Rng& rng) override;
+
+ private:
+  Duration median_;
+  double sigma_;
+};
+
+/// Geo-replication: each node is pinned to a site; delay is half the
+/// inter-site RTT plus uniform jitter. Models the WAN deployments that
+/// motivate fast implementations (Cassandra-style, Section 1).
+class GeoDelay final : public DelayModel {
+ public:
+  /// rtt_ms[a][b] is the round-trip time between sites a and b in
+  /// milliseconds; site_of[n] maps node id -> site index.
+  GeoDelay(std::vector<std::vector<double>> rtt_ms, std::vector<int> site_of,
+           double jitter_fraction = 0.05);
+
+  Duration sample(NodeId src, NodeId dst, Rng& rng) override;
+
+ private:
+  std::vector<std::vector<double>> rtt_ms_;
+  std::vector<int> site_of_;
+  double jitter_fraction_;
+};
+
+}  // namespace mwreg

@@ -1,0 +1,25 @@
+// The unit of communication between clients and servers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mwreg {
+
+/// Protocol-defined message type discriminator (each protocol defines its own
+/// enum and casts it into this field).
+using MsgType = std::uint32_t;
+
+struct Message {
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  MsgType type = 0;
+  /// Matches a reply to the round-trip (RPC) that solicited it.
+  std::uint64_t rpc_id = 0;
+  /// Protocol payload, encoded with common/codec.h.
+  std::vector<std::uint8_t> payload;
+};
+
+}  // namespace mwreg

@@ -1,0 +1,99 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mwreg {
+
+Network::Network(Simulator& sim, std::unique_ptr<DelayModel> delay, Rng rng,
+                 bool fifo)
+    : sim_(sim), delay_(std::move(delay)), rng_(rng), fifo_(fifo) {}
+
+void Network::attach(NodeId id, Process& p) {
+  if (static_cast<std::size_t>(id) >= procs_.size()) {
+    procs_.resize(static_cast<std::size_t>(id) + 1, nullptr);
+  }
+  procs_[static_cast<std::size_t>(id)] = &p;
+}
+
+void Network::send(Message m) {
+  ++stats_.sent;
+  if (crashed_.count(m.src) > 0) return;  // a crashed node sends nothing
+  deliver_later(std::move(m), sim_.now());
+}
+
+void Network::deliver_later(Message m, Time sent) {
+  if (crashed_.count(m.dst) > 0) {
+    ++stats_.to_crashed;
+    return;
+  }
+  if (blocked_.count({m.src, m.dst}) > 0) {
+    held_.emplace_back(std::move(m), sent);
+    ++stats_.held;
+    return;
+  }
+  Duration d = delay_->sample(m.src, m.dst, rng_);
+  Time at = sim_.now() + d;
+  if (fifo_) {
+    auto& row = last_delivery_;
+    const auto s = static_cast<std::size_t>(m.src);
+    const auto t = static_cast<std::size_t>(m.dst);
+    if (row.size() <= s) row.resize(s + 1);
+    if (row[s].size() <= t) row[s].resize(t + 1, 0);
+    at = std::max(at, row[s][t]);
+    row[s][t] = at;
+  }
+  sim_.schedule_at(at, [this, m = std::move(m), sent]() { deliver_now(m, sent); });
+}
+
+void Network::deliver_now(const Message& m, Time sent) {
+  if (crashed_.count(m.dst) > 0) {
+    ++stats_.to_crashed;
+    return;
+  }
+  // A message can be scheduled before its link is blocked; honor the block
+  // at delivery time so block_link() acts as a clean cut.
+  if (blocked_.count({m.src, m.dst}) > 0) {
+    held_.emplace_back(m, sent);
+    ++stats_.held;
+    return;
+  }
+  ++stats_.delivered;
+  if (hook_) hook_(m, sent, sim_.now());
+  Process* p = static_cast<std::size_t>(m.dst) < procs_.size()
+                   ? procs_[static_cast<std::size_t>(m.dst)]
+                   : nullptr;
+  assert(p != nullptr && "message to unattached node");
+  if (p != nullptr) p->on_message(m);
+}
+
+void Network::crash(NodeId id) { crashed_.insert(id); }
+
+void Network::block_link(NodeId src, NodeId dst) { blocked_.insert({src, dst}); }
+
+void Network::block_pair(NodeId a, NodeId b) {
+  block_link(a, b);
+  block_link(b, a);
+}
+
+void Network::unblock_link(NodeId src, NodeId dst) {
+  blocked_.erase({src, dst});
+  std::vector<std::pair<Message, Time>> still_held;
+  still_held.reserve(held_.size());
+  for (auto& [m, sent] : held_) {
+    if (m.src == src && m.dst == dst) {
+      --stats_.held;
+      deliver_later(std::move(m), sent);
+    } else {
+      still_held.emplace_back(std::move(m), sent);
+    }
+  }
+  held_ = std::move(still_held);
+}
+
+void Network::unblock_pair(NodeId a, NodeId b) {
+  unblock_link(a, b);
+  unblock_link(b, a);
+}
+
+}  // namespace mwreg

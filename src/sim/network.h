@@ -1,0 +1,121 @@
+// Asynchronous reliable message-passing network (Fig. 1 of the paper).
+//
+// Channels are bidirectional and reliable: messages are never lost, but may
+// be delayed arbitrarily. The adversarial schedules in the proofs are
+// expressed with block_link / unblock_link ("skipping" a server = blocking
+// its links until the rest of the execution finishes) and crash().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/delay_model.h"
+#include "sim/message.h"
+#include "sim/simulator.h"
+
+namespace mwreg {
+
+class Process;
+
+struct NetworkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t held = 0;       ///< currently parked on blocked links
+  std::uint64_t to_crashed = 0; ///< dropped because dst crashed
+};
+
+class Network {
+ public:
+  /// `fifo`: when true, per-link delivery preserves send order (delays are
+  /// clamped to be nondecreasing per link). The paper's model is non-FIFO.
+  Network(Simulator& sim, std::unique_ptr<DelayModel> delay, Rng rng,
+          bool fifo = false);
+
+  Simulator& sim() { return sim_; }
+
+  /// Register the handler for a node. Must be called before any message is
+  /// delivered to `id`. The process must outlive the network run.
+  void attach(NodeId id, Process& p);
+
+  /// Send a message. The src/dst fields must be filled in.
+  void send(Message m);
+
+  /// Crash a node: all future and in-flight messages to it are dropped, and
+  /// nothing it sends afterwards is accepted.
+  void crash(NodeId id);
+  [[nodiscard]] bool crashed(NodeId id) const { return crashed_.count(id) > 0; }
+
+  /// Block the directed link src -> dst: messages are parked, not lost.
+  void block_link(NodeId src, NodeId dst);
+  /// Block both directions between a client and a server ("skip").
+  void block_pair(NodeId a, NodeId b);
+  /// Release a directed link; parked messages are delivered with fresh delays.
+  void unblock_link(NodeId src, NodeId dst);
+  void unblock_pair(NodeId a, NodeId b);
+  [[nodiscard]] bool link_blocked(NodeId src, NodeId dst) const {
+    return blocked_.count({src, dst}) > 0;
+  }
+
+  /// Optional observer invoked at delivery time (used by trace capture).
+  using DeliveryHook = std::function<void(const Message&, Time sent, Time delivered)>;
+  void set_delivery_hook(DeliveryHook hook) { hook_ = std::move(hook); }
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+
+ private:
+  void deliver_later(Message m, Time sent);
+  void deliver_now(const Message& m, Time sent);
+
+  Simulator& sim_;
+  std::unique_ptr<DelayModel> delay_;
+  Rng rng_;
+  bool fifo_;
+  std::vector<Process*> procs_;
+  std::set<NodeId> crashed_;
+  std::set<std::pair<NodeId, NodeId>> blocked_;
+  /// Messages parked on blocked links, with their original send time.
+  std::vector<std::pair<Message, Time>> held_;
+  /// Per-link last scheduled delivery time (FIFO mode).
+  std::vector<std::vector<Time>> last_delivery_;
+  DeliveryHook hook_;
+  NetworkStats stats_;
+};
+
+/// A protocol participant: owns a node id and reacts to delivered messages.
+class Process {
+ public:
+  Process(NodeId id, Network& net) : id_(id), net_(net) { net.attach(id, *this); }
+  virtual ~Process() = default;
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  virtual void on_message(const Message& m) = 0;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+
+ protected:
+  Network& net() { return net_; }
+  Simulator& sim() { return net_.sim(); }
+
+  void send(NodeId dst, MsgType type, std::uint64_t rpc_id,
+            std::vector<std::uint8_t> payload) {
+    Message m;
+    m.src = id_;
+    m.dst = dst;
+    m.type = type;
+    m.rpc_id = rpc_id;
+    m.payload = std::move(payload);
+    net_.send(std::move(m));
+  }
+
+ private:
+  NodeId id_;
+  Network& net_;
+};
+
+}  // namespace mwreg

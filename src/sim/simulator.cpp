@@ -1,0 +1,40 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace mwreg {
+
+void Simulator::schedule_at(Time t, EventFn fn) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the closure handle (shared ownership is cheap enough here).
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.t;
+  ev.fn();
+  ++executed_;
+  return true;
+}
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(Time deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().t <= deadline) {
+    step();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace mwreg

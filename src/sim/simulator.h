@@ -1,0 +1,62 @@
+// Single-threaded discrete-event simulator.
+//
+// Events are (time, sequence, closure) triples executed in nondecreasing time
+// order; ties break by insertion sequence so runs are fully deterministic.
+// All asynchrony in the system (message delays, timers, client think time)
+// is expressed as scheduled events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mwreg {
+
+class Simulator {
+ public:
+  using EventFn = std::function<void()>;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (clamped to now if in the past).
+  void schedule_at(Time t, EventFn fn);
+
+  /// Schedule `fn` after `d` simulated nanoseconds.
+  void schedule_after(Duration d, EventFn fn) { schedule_at(now_ + d, std::move(fn)); }
+
+  /// Execute the next event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run until no events remain. Returns the number of events executed.
+  std::size_t run();
+
+  /// Run until the queue is empty or virtual time would exceed `deadline`.
+  /// Events at exactly `deadline` are executed.
+  std::size_t run_until(Time deadline);
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace mwreg

@@ -1,0 +1,158 @@
+// Property tests for Algorithm 1's admissible(.) predicate: the pruned
+// subset search must agree with a brute-force reference on random inputs,
+// and the predicate must be monotone in the ways the correctness proofs
+// rely on (Lemmas 8-10).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "protocols/fastread_clients.h"
+
+namespace mwreg {
+namespace {
+
+/// Brute-force reference: enumerate ALL subsets of messages containing v,
+/// and for each check |mu| >= max(1, S - a*t) and |intersection| >= a.
+bool admissible_reference(const TaggedValue& v,
+                          const std::vector<std::vector<FrEntry>>& msgs, int a,
+                          int S, int t) {
+  std::vector<std::uint64_t> sets;
+  for (const auto& m : msgs) {
+    for (const FrEntry& e : m) {
+      if (e.value == v) {
+        std::uint64_t mask = 0;
+        for (NodeId c : e.updated) mask |= 1ULL << c;
+        sets.push_back(mask);
+        break;
+      }
+    }
+  }
+  const int need = std::max(1, S - a * t);
+  const std::size_t n = sets.size();
+  if (n > 20) return false;  // reference is exponential; keep inputs small
+  for (std::uint64_t sub = 1; sub < (1ULL << n); ++sub) {
+    if (__builtin_popcountll(sub) < need) continue;
+    std::uint64_t inter = ~0ULL;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (sub & (1ULL << i)) inter &= sets[i];
+    }
+    if (__builtin_popcountll(inter) >= a) return true;
+  }
+  return false;
+}
+
+std::vector<std::vector<FrEntry>> random_msgs(Rng& rng, const TaggedValue& v,
+                                              int n_msgs, int clients) {
+  std::vector<std::vector<FrEntry>> msgs;
+  for (int m = 0; m < n_msgs; ++m) {
+    std::vector<FrEntry> entries;
+    if (rng.next_bool(0.8)) {  // message "has v"
+      FrEntry e;
+      e.value = v;
+      for (NodeId c = 0; c < clients; ++c) {
+        if (rng.next_bool(0.5)) e.updated.push_back(c);
+      }
+      entries.push_back(std::move(e));
+    }
+    if (rng.next_bool(0.5)) {  // unrelated entry
+      FrEntry other;
+      other.value = TaggedValue{Tag{99, 99}, 99};
+      other.updated = {static_cast<NodeId>(rng.next_below(
+          static_cast<std::uint64_t>(clients)))};
+      entries.push_back(std::move(other));
+    }
+    msgs.push_back(std::move(entries));
+  }
+  return msgs;
+}
+
+class AdmissibleProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AdmissibleProperty, MatchesBruteForceReference) {
+  Rng rng(GetParam());
+  const TaggedValue v{Tag{1, 0}, 1};
+  for (int iter = 0; iter < 300; ++iter) {
+    const int S = 3 + static_cast<int>(rng.next_below(6));
+    const int t = 1 + static_cast<int>(rng.next_below(2));
+    const int n_msgs = 1 + static_cast<int>(rng.next_below(
+                               static_cast<std::uint64_t>(S)));
+    const auto msgs = random_msgs(rng, v, n_msgs, 6);
+    for (int a = 1; a <= 4; ++a) {
+      EXPECT_EQ(admissible(v, msgs, a, S, t),
+                admissible_reference(v, msgs, a, S, t))
+          << "S=" << S << " t=" << t << " a=" << a << " msgs=" << n_msgs;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdmissibleProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(AdmissibleMonotone, AddingWitnessClientsPreservesAdmissibility) {
+  // Lemma 8's engine: updated sets only grow, and growth never revokes
+  // admissibility.
+  Rng rng(7);
+  const TaggedValue v{Tag{1, 0}, 1};
+  for (int iter = 0; iter < 200; ++iter) {
+    auto msgs = random_msgs(rng, v, 5, 5);
+    const int S = 6, t = 1;
+    for (int a = 1; a <= 3; ++a) {
+      if (!admissible(v, msgs, a, S, t)) continue;
+      auto grown = msgs;
+      for (auto& m : grown) {
+        for (FrEntry& e : m) {
+          if (e.value == v && rng.next_bool(0.5)) e.updated.push_back(5);
+        }
+      }
+      EXPECT_TRUE(admissible(v, grown, a, S, t)) << "a=" << a;
+    }
+  }
+}
+
+TEST(AdmissibleMonotone, MoreMessagesWithVPreserveAdmissibility) {
+  Rng rng(9);
+  const TaggedValue v{Tag{1, 0}, 1};
+  for (int iter = 0; iter < 200; ++iter) {
+    auto msgs = random_msgs(rng, v, 4, 5);
+    const int S = 5, t = 1;
+    if (!admissible(v, msgs, 2, S, t)) continue;
+    // A fresh message carrying v with a superset witness set cannot hurt:
+    // the original mu is still available.
+    FrEntry e;
+    e.value = v;
+    e.updated = {0, 1, 2, 3, 4};
+    msgs.push_back({e});
+    EXPECT_TRUE(admissible(v, msgs, 2, S, t));
+  }
+}
+
+TEST(AdmissibleBounds, FeasibleRegionArithmetic) {
+  // At the Fig. 9 boundary S = (R+2)t, a value held by exactly t servers
+  // with R+1 common witnesses is admissible at degree R+1 -- and is not
+  // when S grows by one (the feasible side).
+  const TaggedValue v{Tag{1, 0}, 1};
+  for (int t = 1; t <= 3; ++t) {
+    for (int R = 2; R <= 5; ++R) {
+      std::vector<NodeId> witnesses;
+      for (NodeId c = 0; c <= R; ++c) witnesses.push_back(c);  // R+1 clients
+      std::vector<std::vector<FrEntry>> msgs;
+      for (int i = 0; i < t; ++i) {
+        FrEntry e;
+        e.value = v;
+        e.updated = witnesses;
+        msgs.push_back({e});
+      }
+      bool any_boundary = false, any_feasible = false;
+      for (int a = 1; a <= R + 1; ++a) {
+        any_boundary |= admissible(v, msgs, a, (R + 2) * t, t);
+        any_feasible |= admissible(v, msgs, a, (R + 2) * t + 1, t);
+      }
+      EXPECT_TRUE(any_boundary) << "t=" << t << " R=" << R;
+      EXPECT_FALSE(any_feasible) << "t=" << t << " R=" << R;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mwreg

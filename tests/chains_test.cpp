@@ -1,0 +1,201 @@
+// Tests for the chain-argument engines: every structural indistinguishability
+// claim of Sections 3-4 holds, and every decision rule -- named or randomly
+// generated -- gets a concrete, Wing-Gong-verified violating execution.
+#include <gtest/gtest.h>
+
+#include "chains/fastread_adversary.h"
+#include "chains/sieve.h"
+#include "chains/w1r1.h"
+#include "chains/w1r2_engine.h"
+#include "fullinfo/rules.h"
+
+namespace mwreg::chains {
+namespace {
+
+using fullinfo::RandomizedRule;
+using fullinfo::standard_rules;
+
+// ---------- Construction verification (Figs. 4-7) ----------
+
+class ConstructionChecks : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConstructionChecks, AllW1R2LinksHold) {
+  const int S = GetParam();
+  for (const LinkCheck& c : verify_w1r2_construction(S)) {
+    EXPECT_TRUE(c.ok) << "S=" << S << " " << c.name << "\n" << c.detail;
+  }
+}
+
+TEST_P(ConstructionChecks, AllW1R1LinksHold) {
+  const int S = GetParam();
+  for (const LinkCheck& c : verify_w1r1_construction(S)) {
+    EXPECT_TRUE(c.ok) << "S=" << S << " " << c.name << "\n" << c.detail;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ConstructionChecks,
+                         ::testing::Values(3, 4, 5, 6, 7, 8));
+
+// ---------- Theorem 1: every rule gets a certificate ----------
+
+class StandardRuleImpossibility
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(StandardRuleImpossibility, W1R2CertificateFound) {
+  const int S = std::get<0>(GetParam());
+  const int idx = std::get<1>(GetParam());
+  auto rules = standard_rules();
+  ASSERT_LT(static_cast<std::size_t>(idx), rules.size());
+  const Certificate cert = prove_w1r2_impossible(*rules[static_cast<std::size_t>(idx)], S);
+  EXPECT_TRUE(cert.found) << cert.rule_name << " S=" << S << "\n"
+                          << cert.narrative.back();
+  EXPECT_FALSE(cert.wg_violation.empty());
+  EXPECT_GT(cert.executions_checked, 0);
+}
+
+TEST_P(StandardRuleImpossibility, W1R1CertificateFound) {
+  const int S = std::get<0>(GetParam());
+  const int idx = std::get<1>(GetParam());
+  auto rules = standard_rules();
+  const Certificate cert = prove_w1r1_impossible(*rules[static_cast<std::size_t>(idx)], S);
+  EXPECT_TRUE(cert.found) << cert.rule_name << " S=" << S;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, StandardRuleImpossibility,
+                         ::testing::Combine(::testing::Values(3, 4, 5, 7),
+                                            ::testing::Values(0, 1, 2, 3, 4, 5)));
+
+// Property sweep: hundreds of arbitrary (randomized) decision rules, both
+// with sane forced ends (exercising the deep phases) and fully wild.
+class RandomRuleImpossibility : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomRuleImpossibility, W1R2CertificateFoundForArbitraryRules) {
+  const std::uint64_t base = GetParam() * 100;
+  for (std::uint64_t s = base; s < base + 25; ++s) {
+    {
+      const RandomizedRule rule(s, /*force_sane_ends=*/true);
+      const Certificate cert = prove_w1r2_impossible(rule, 4);
+      EXPECT_TRUE(cert.found) << rule.name();
+    }
+    {
+      const RandomizedRule rule(s, /*force_sane_ends=*/false);
+      const Certificate cert = prove_w1r2_impossible(rule, 4);
+      EXPECT_TRUE(cert.found) << rule.name();
+    }
+  }
+}
+
+TEST_P(RandomRuleImpossibility, W1R1CertificateFoundForArbitraryRules) {
+  const std::uint64_t base = GetParam() * 100;
+  for (std::uint64_t s = base; s < base + 25; ++s) {
+    const RandomizedRule rule(s, s % 2 == 0);
+    const Certificate cert = prove_w1r1_impossible(rule, 5);
+    EXPECT_TRUE(cert.found) << rule.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomRuleImpossibility,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(CertificateContents, NarrativeAndDumpsPopulated) {
+  const fullinfo::MajorityOrderRule rule;
+  const Certificate cert = prove_w1r2_impossible(rule, 5);
+  ASSERT_TRUE(cert.found);
+  EXPECT_FALSE(cert.execution_label.empty());
+  EXPECT_FALSE(cert.execution_dump.empty());
+  EXPECT_FALSE(cert.history_dump.empty());
+  EXPECT_GE(cert.narrative.size(), 2u);
+  // The majority rule survives the alpha ends, so the engine must have
+  // located a critical server before finding the violation.
+  EXPECT_GE(cert.critical_server, 1);
+  EXPECT_LE(cert.critical_server, 5);
+}
+
+TEST(CertificateContents, DeepPhaseReachedForSaneRules) {
+  // Sane rules pass Phase 1; their violation must be in a beta/gamma/temp
+  // execution (Phase 2/3), demonstrating that the extra read round really
+  // requires the extra chains.
+  int deep = 0;
+  for (const auto& rule : standard_rules()) {
+    const Certificate cert = prove_w1r2_impossible(*rule, 4);
+    ASSERT_TRUE(cert.found) << rule->name();
+    if (cert.execution_label.find("alpha") == std::string::npos) ++deep;
+  }
+  EXPECT_GT(deep, 0);
+}
+
+// ---------- Sieve (Section 4.2, Fig. 8) ----------
+
+TEST(Sieve, ChainArgumentSurvivesForStandardRules) {
+  for (const auto& rule : standard_rules()) {
+    for (int S = 5; S <= 8; ++S) {
+      for (int x = 3; x <= S; ++x) {
+        const SieveResult res = run_sieve(*rule, S, x);
+        EXPECT_TRUE(res.sigma1_constant_ok) << rule->name();
+        EXPECT_TRUE(res.chain_argument_survives())
+            << rule->name() << " S=" << S << " x=" << x;
+        EXPECT_GE(res.pivot, 1);
+        EXPECT_LE(res.pivot, x);
+      }
+    }
+  }
+}
+
+TEST(Sieve, ShortenedChainHasLengthXPlusOne) {
+  const fullinfo::MajorityOrderRule rule;
+  const SieveResult res = run_sieve(rule, 8, 4);
+  EXPECT_EQ(res.r1_values.size(), 5u);
+  EXPECT_EQ(res.r1_values.front(), 2);
+  EXPECT_EQ(res.r1_values.back(), 1);
+}
+
+TEST(Sieve, TooFewUnaffectedServersFlagged) {
+  const fullinfo::MajorityOrderRule rule;
+  // x must be >= 3 for the downstream argument (t = 1 needs S >= 3).
+  const SieveResult res = run_sieve(rule, 8, 3);
+  EXPECT_TRUE(res.enough_servers);
+}
+
+// ---------- Fig. 9: the fast-read feasibility frontier ----------
+
+TEST(FastReadAdversary, ViolationAtTheBoundary) {
+  // S = 5, t = 1, R = 3: R >= S/t - 2 = 3, the impossible region.
+  const FastReadAdversaryResult res = run_fastread_adversary(5, 1, 3);
+  EXPECT_TRUE(res.bound_violated);
+  EXPECT_TRUE(res.violation_found) << res.history_dump;
+  EXPECT_EQ(res.flip_read_payload, 42) << "flip read must return the new value";
+  EXPECT_EQ(res.stale_read_payload, 0) << "stale read must return the old value";
+}
+
+TEST(FastReadAdversary, NoViolationBelowTheBound) {
+  // S = 6, t = 1, R = 3: R < S/t - 2 = 4, Algorithm 1 & 2 is safe.
+  const FastReadAdversaryResult res = run_fastread_adversary(6, 1, 3);
+  EXPECT_FALSE(res.bound_violated);
+  EXPECT_FALSE(res.violation_found) << res.check_detail << "\n"
+                                    << res.history_dump;
+  EXPECT_EQ(res.flip_read_payload, 0) << "admissibility must not trip";
+}
+
+class FrontierSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(FrontierSweep, ViolationIffBoundViolated) {
+  const auto [S, t, R] = GetParam();
+  const FastReadAdversaryResult res = run_fastread_adversary(S, t, R);
+  EXPECT_EQ(res.violation_found, res.bound_violated)
+      << "S=" << S << " t=" << t << " R=" << R << "\n"
+      << res.check_detail << res.history_dump;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FrontierSweep,
+    ::testing::Values(std::tuple{4, 1, 2}, std::tuple{5, 1, 2},
+                      std::tuple{5, 1, 3}, std::tuple{6, 1, 3},
+                      std::tuple{6, 1, 4}, std::tuple{7, 1, 4},
+                      std::tuple{7, 1, 5}, std::tuple{8, 1, 5},
+                      std::tuple{8, 2, 2}, std::tuple{9, 2, 2},
+                      std::tuple{10, 2, 3}, std::tuple{12, 2, 3},
+                      std::tuple{12, 3, 2}, std::tuple{13, 3, 2}));
+
+}  // namespace
+}  // namespace mwreg::chains

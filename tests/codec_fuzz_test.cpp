@@ -1,0 +1,87 @@
+// Robustness: decoding arbitrary bytes must never crash, hang, or
+// over-allocate -- servers and clients parse each other's payloads, and a
+// malformed message must degrade to a failed ByteReader, not undefined
+// behavior.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/codec.h"
+#include "common/rng.h"
+#include "protocols/messages.h"
+
+namespace mwreg {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(Rng& rng, std::size_t n) {
+  std::vector<std::uint8_t> b(n);
+  for (auto& x : b) x = static_cast<std::uint8_t>(rng.next());
+  return b;
+}
+
+class CodecFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecFuzz, RandomBytesNeverCrashPrimitives) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 500; ++iter) {
+    const auto bytes = random_bytes(rng, rng.next_below(64));
+    ByteReader r(bytes);
+    (void)r.get_varint();
+    (void)r.get_signed();
+    (void)r.get_string();
+    (void)r.get_tag();
+    (void)r.get_value();
+    // ok() may be true or false; the point is we got here.
+    SUCCEED();
+  }
+}
+
+TEST_P(CodecFuzz, RandomBytesNeverCrashMessageDecoders) {
+  Rng rng(GetParam() + 1000);
+  for (int iter = 0; iter < 500; ++iter) {
+    const auto bytes = random_bytes(rng, rng.next_below(96));
+    (void)decode_value(bytes);
+    (void)decode_tag(bytes);
+    const auto vals = decode_value_list(bytes);
+    const auto entries = decode_entries(bytes);
+    // Length prefixes are validated against the buffer, so decoded sizes
+    // stay bounded by the input size (no attacker-controlled allocation).
+    EXPECT_LE(vals.size(), bytes.size() + 2);
+    EXPECT_LE(entries.size(), bytes.size() + 2);
+  }
+}
+
+TEST_P(CodecFuzz, TruncationsOfValidPayloadsFailCleanly) {
+  Rng rng(GetParam() + 2000);
+  // Build a valid entries payload, then decode every truncation of it.
+  std::vector<FrEntry> entries;
+  for (int i = 0; i < 4; ++i) {
+    FrEntry e;
+    e.value = TaggedValue{Tag{rng.next_in(1, 100), static_cast<NodeId>(i)},
+                          rng.next_in(-5, 5)};
+    for (NodeId c = 0; c < 5; ++c) {
+      if (rng.next_bool(0.6)) e.updated.push_back(c);
+    }
+    entries.push_back(std::move(e));
+  }
+  const std::vector<std::uint8_t> full = encode_entries(entries);
+  // The complete payload round-trips.
+  const auto decoded = decode_entries(full);
+  ASSERT_EQ(decoded.size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(decoded[i].value, entries[i].value);
+    EXPECT_EQ(decoded[i].updated, entries[i].updated);
+  }
+  // Every strict prefix decodes without crashing.
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::vector<std::uint8_t> trunc(full.begin(),
+                                    full.begin() + static_cast<std::ptrdiff_t>(cut));
+    (void)decode_entries(trunc);
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Range<std::uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace mwreg

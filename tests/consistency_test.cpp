@@ -1,0 +1,292 @@
+// Tests for the three atomicity checkers, including cross-validation on
+// randomized histories: the Wing-Gong exhaustive search is ground truth, the
+// unique-value graph checker must agree with it exactly, and a tag-witness
+// pass must imply both.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "consistency/checkers.h"
+#include "consistency/history.h"
+
+namespace mwreg {
+namespace {
+
+// Convenience builders. Client ids are arbitrary but per-op unique unless a
+// test wants real-time chaining through one client.
+struct Builder {
+  History h;
+  NodeId next_client = 100;
+
+  OpId write(Time s, Time f, Tag tag, std::int64_t payload,
+             NodeId client = kNoNode) {
+    const OpId id = h.begin_op(client == kNoNode ? next_client++ : client,
+                               OpKind::kWrite, s);
+    if (f != kTimeMax) {
+      h.end_op(id, f, TaggedValue{tag, payload});
+    } else {
+      h.set_value(id, TaggedValue{tag, payload});  // pending, tag known
+    }
+    return id;
+  }
+  OpId read(Time s, Time f, Tag tag, std::int64_t payload,
+            NodeId client = kNoNode) {
+    const OpId id = h.begin_op(client == kNoNode ? next_client++ : client,
+                               OpKind::kRead, s);
+    if (f != kTimeMax) h.end_op(id, f, TaggedValue{tag, payload});
+    return id;
+  }
+};
+
+void expect_all_ok(const History& h) {
+  EXPECT_TRUE(check_tag_witness(h).atomic) << check_tag_witness(h).violation;
+  EXPECT_TRUE(check_wing_gong(h).atomic) << check_wing_gong(h).violation;
+  EXPECT_TRUE(check_unique_value_graph(h).atomic)
+      << check_unique_value_graph(h).violation;
+}
+
+void expect_all_bad(const History& h) {
+  EXPECT_FALSE(check_tag_witness(h).atomic);
+  EXPECT_FALSE(check_wing_gong(h).atomic);
+  EXPECT_FALSE(check_unique_value_graph(h).atomic);
+}
+
+TEST(Checkers, EmptyHistoryIsAtomic) {
+  History h;
+  expect_all_ok(h);
+}
+
+TEST(Checkers, SequentialWriteThenRead) {
+  Builder b;
+  b.write(0, 10, Tag{1, 0}, 11);
+  b.read(20, 30, Tag{1, 0}, 11);
+  expect_all_ok(b.h);
+}
+
+TEST(Checkers, ReadOfInitialValueBeforeAnyWrite) {
+  Builder b;
+  b.read(0, 5, kBottomTag, 0);
+  b.write(10, 20, Tag{1, 0}, 1);
+  expect_all_ok(b.h);
+}
+
+TEST(Checkers, StaleReadAfterLaterWrite) {
+  // W(1) ends, then W(2) ends, then a read returns 1: Definition 2.1's
+  // read-from requirement is violated.
+  Builder b;
+  b.write(0, 10, Tag{1, 0}, 1);
+  b.write(20, 30, Tag{2, 1}, 2);
+  b.read(40, 50, Tag{1, 0}, 1);
+  expect_all_bad(b.h);
+}
+
+TEST(Checkers, NewOldInversionBetweenReads) {
+  // W1 finishes, then W2 runs concurrently with two sequential reads. Read1
+  // returns the new value but read2 (strictly after read1) returns the old
+  // one: atomicity forbids this new/old inversion, regularity would allow it.
+  Builder b;
+  b.write(0, 10, Tag{1, 0}, 1);
+  b.write(20, 100, Tag{2, 1}, 2);
+  b.read(30, 35, Tag{2, 1}, 2);
+  b.read(40, 45, Tag{1, 0}, 1);
+  expect_all_bad(b.h);
+}
+
+TEST(Checkers, ConcurrentReadsMaySeeEitherOrderOfConcurrentWrites) {
+  // Both writes concurrent with both reads and with each other: the reads
+  // returning different values in either order is linearizable.
+  Builder b;
+  b.write(0, 100, Tag{1, 0}, 1);
+  b.write(0, 100, Tag{2, 1}, 2);
+  b.read(10, 20, Tag{2, 1}, 2);
+  b.read(30, 40, Tag{1, 0}, 1);
+  // Linearize W2, R1, W1, R2: only R1 -> R2 is a real-time constraint.
+  EXPECT_TRUE(check_wing_gong(b.h).atomic);
+  EXPECT_TRUE(check_unique_value_graph(b.h).atomic);
+  // The tag witness is stricter and rejects (tags out of order across reads).
+  EXPECT_FALSE(check_tag_witness(b.h).atomic);
+}
+
+TEST(Checkers, ReadFromTheFuture) {
+  // A read finishing before its write is invoked.
+  Builder b;
+  b.read(0, 5, Tag{1, 0}, 1);
+  b.write(10, 20, Tag{1, 0}, 1);
+  expect_all_bad(b.h);
+}
+
+TEST(Checkers, ValueNeverWritten) {
+  Builder b;
+  b.write(0, 10, Tag{1, 0}, 1);
+  b.read(20, 30, Tag{9, 9}, 9);
+  expect_all_bad(b.h);
+}
+
+TEST(Checkers, PayloadMismatchRejected) {
+  Builder b;
+  b.write(0, 10, Tag{1, 0}, 1);
+  b.read(20, 30, Tag{1, 0}, 999);
+  expect_all_bad(b.h);
+}
+
+TEST(Checkers, ConcurrentWritesAnyOrderOk) {
+  // Two overlapping writes; readers may see them in tag order.
+  Builder b;
+  b.write(0, 100, Tag{1, 0}, 1);
+  b.write(0, 100, Tag{1, 1}, 2);  // equal ts, distinct wid
+  b.read(110, 120, Tag{1, 1}, 2);
+  expect_all_ok(b.h);
+}
+
+TEST(Checkers, PendingWriteMayBeRead) {
+  // A write that never completed (crashed writer) can still be read.
+  Builder b;
+  b.write(0, kTimeMax, Tag{1, 0}, 1);
+  b.read(50, 60, Tag{1, 0}, 1);
+  b.read(70, 80, Tag{1, 0}, 1);
+  expect_all_ok(b.h);
+}
+
+TEST(Checkers, PendingWriteMayBeIgnored) {
+  Builder b;
+  b.write(0, kTimeMax, Tag{5, 0}, 5);
+  b.read(50, 60, kBottomTag, 0);  // pending write need not have taken effect
+  EXPECT_TRUE(check_wing_gong(b.h).atomic);
+  EXPECT_TRUE(check_unique_value_graph(b.h).atomic);
+}
+
+TEST(Checkers, PendingWriteCannotFlipFlop) {
+  // Once a read returned the pending write's value, a later read must not
+  // revert to the old value.
+  Builder b;
+  b.write(0, kTimeMax, Tag{5, 0}, 5);
+  b.read(50, 60, Tag{5, 0}, 5);
+  b.read(70, 80, kBottomTag, 0);
+  expect_all_bad(b.h);
+}
+
+TEST(Checkers, StaleBottomReadAfterWrite) {
+  Builder b;
+  b.write(0, 10, Tag{1, 0}, 1);
+  b.read(20, 30, kBottomTag, 0);
+  expect_all_bad(b.h);
+}
+
+TEST(Checkers, TagWitnessStricterThanTruth) {
+  // Write tags ordered against real time with no reads: atomic (any write
+  // order can linearize by real time), but the tag witness rejects it.
+  Builder b;
+  b.write(0, 10, Tag{2, 0}, 2);
+  b.write(20, 30, Tag{1, 1}, 1);
+  EXPECT_FALSE(check_tag_witness(b.h).atomic);
+  EXPECT_TRUE(check_wing_gong(b.h).atomic);
+  EXPECT_TRUE(check_unique_value_graph(b.h).atomic);
+}
+
+TEST(Checkers, WellFormednessViolationCaught) {
+  History h;
+  const OpId a = h.begin_op(1, OpKind::kWrite, 10);
+  h.begin_op(1, OpKind::kWrite, 12);  // same client, first op still pending
+  h.end_op(a, 20, TaggedValue{Tag{1, 0}, 1});
+  EXPECT_FALSE(h.well_formed());
+  EXPECT_FALSE(check_tag_witness(h).atomic);
+  EXPECT_FALSE(check_wing_gong(h).atomic);
+}
+
+TEST(Checkers, DuplicateWriteTagsRejectedByWitness) {
+  Builder b;
+  b.write(0, 10, Tag{1, 0}, 1);
+  b.write(20, 30, Tag{1, 0}, 2);
+  EXPECT_FALSE(check_tag_witness(b.h).atomic);
+  EXPECT_FALSE(check_unique_value_graph(b.h).atomic);
+}
+
+TEST(Checkers, ReadChainThroughClients) {
+  // r1 returns the new value while the write is still pending, then r2
+  // (strictly after r1) must also see it even though the write is pending.
+  Builder b;
+  b.write(0, 200, Tag{1, 0}, 1);
+  b.read(10, 20, Tag{1, 0}, 1);
+  b.read(30, 40, kBottomTag, 0);
+  expect_all_bad(b.h);
+}
+
+TEST(Checkers, LongAtomicSequence) {
+  Builder b;
+  Time t = 0;
+  for (int i = 1; i <= 8; ++i) {
+    b.write(t, t + 5, Tag{i, 0}, i * 10);
+    b.read(t + 6, t + 9, Tag{i, 0}, i * 10);
+    t += 10;
+  }
+  expect_all_ok(b.h);
+}
+
+// ---------- Randomized cross-validation ----------
+
+History random_history(Rng& rng, int n_writes, int n_reads) {
+  Builder b;
+  struct W {
+    Tag tag;
+    std::int64_t payload;
+  };
+  std::vector<W> writes;
+  for (int i = 0; i < n_writes; ++i) {
+    // Distinct tags, random order relative to time.
+    const Tag tag{rng.next_in(1, 4), static_cast<NodeId>(i)};
+    writes.push_back(W{tag, tag.ts * 100 + i});
+  }
+  const Time horizon = 100;
+  for (const W& w : writes) {
+    const Time s = rng.next_in(0, horizon);
+    const bool pending = rng.next_bool(0.15);
+    const Time f = pending ? kTimeMax : rng.next_in(s, horizon + 20);
+    b.write(s, f, w.tag, w.payload);
+  }
+  for (int i = 0; i < n_reads; ++i) {
+    const Time s = rng.next_in(0, horizon);
+    const Time f = rng.next_in(s, horizon + 20);
+    if (!writes.empty() && rng.next_bool(0.8)) {
+      const W& w = writes[rng.next_below(writes.size())];
+      b.read(s, f, w.tag, w.payload);
+    } else {
+      b.read(s, f, kBottomTag, 0);
+    }
+  }
+  return std::move(b.h);
+}
+
+class CheckerCrossValidation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CheckerCrossValidation, GraphAgreesWithWingGong) {
+  Rng rng(GetParam());
+  int atomic_count = 0, non_atomic_count = 0;
+  for (int iter = 0; iter < 150; ++iter) {
+    const History h = random_history(rng, 2 + static_cast<int>(rng.next_below(3)),
+                                     2 + static_cast<int>(rng.next_below(4)));
+    if (!h.unique_write_tags()) continue;
+    const CheckResult wg = check_wing_gong(h);
+    const CheckResult graph = check_unique_value_graph(h);
+    EXPECT_EQ(wg.atomic, graph.atomic)
+        << "disagreement on history:\n"
+        << h.to_string() << "wg: " << wg.violation
+        << "\ngraph: " << graph.violation;
+    (wg.atomic ? atomic_count : non_atomic_count)++;
+
+    // The tag witness may reject atomic histories but must never accept a
+    // non-atomic one.
+    if (check_tag_witness(h).atomic) {
+      EXPECT_TRUE(wg.atomic) << h.to_string();
+    }
+  }
+  // The generator must exercise both outcomes to be meaningful.
+  EXPECT_GT(atomic_count, 0);
+  EXPECT_GT(non_atomic_count, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckerCrossValidation,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace mwreg

@@ -1,0 +1,217 @@
+// Tests for the full-info execution model: logs, views, filtering, history
+// extraction, and the decision-rule plumbing.
+#include <gtest/gtest.h>
+
+#include "chains/w1r2_chains.h"
+#include "consistency/checkers.h"
+#include "fullinfo/execution.h"
+#include "fullinfo/rules.h"
+
+namespace mwreg::fullinfo {
+namespace {
+
+using chains::make_alpha;
+using chains::make_alpha_tail;
+using chains::make_beta;
+
+TEST(Execution, AlphaLogsFollowPattern) {
+  const Execution a = make_alpha(5, 2);
+  EXPECT_EQ(a.write_order(0), "21");
+  EXPECT_EQ(a.write_order(1), "21");
+  EXPECT_EQ(a.write_order(2), "12");
+  EXPECT_EQ(a.write_order(4), "12");
+  EXPECT_TRUE(a.well_formed());
+  EXPECT_FALSE(a.has_r2);
+}
+
+TEST(Execution, HeadIsSequentialMiddleConcurrent) {
+  EXPECT_EQ(make_alpha(4, 0).writes, WriteRelation::kW1ThenW2);
+  EXPECT_EQ(make_alpha(4, 2).writes, WriteRelation::kConcurrent);
+  EXPECT_EQ(make_alpha_tail(4).writes, WriteRelation::kW2ThenW1);
+}
+
+TEST(Execution, PrefixAtStopsAtEvent) {
+  const Execution a = make_alpha(3, 1);
+  const auto p = a.prefix_at(0, Ev::kR1a);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (ServerLog{Ev::kW2, Ev::kW1, Ev::kR1a}));
+  EXPECT_FALSE(a.prefix_at(0, Ev::kR2a).has_value());  // alpha has no R2
+}
+
+TEST(Execution, BetaWellFormedWithSwapsAndSkips) {
+  for (int stem = 0; stem <= 4; ++stem) {
+    for (int k = 0; k <= 4; ++k) {
+      for (int skip = -1; skip < 4; ++skip) {
+        const Execution b = make_beta(4, stem, k, skip);
+        EXPECT_TRUE(b.well_formed()) << b.to_string();
+      }
+    }
+  }
+}
+
+TEST(Execution, SkippedServerLacksR2Events) {
+  const Execution b = make_beta(4, 1, 2, 3);
+  EXPECT_FALSE(b.receives(3, Ev::kR2a));
+  EXPECT_FALSE(b.receives(3, Ev::kR2b));
+  EXPECT_TRUE(b.receives(3, Ev::kR1a));
+  EXPECT_TRUE(b.receives(2, Ev::kR2b));
+}
+
+TEST(Execution, SwappedServersSeeR2bFirst) {
+  const Execution b = make_beta(4, 0, 2, -1);
+  // Servers 0,1 swapped: R2b before R1b.
+  const auto p0 = b.prefix_at(0, Ev::kR1b);
+  ASSERT_TRUE(p0.has_value());
+  EXPECT_NE(std::find(p0->begin(), p0->end(), Ev::kR2b), p0->end());
+  // Server 2 not swapped: R1b's prefix has no R2b.
+  const auto p2 = b.prefix_at(2, Ev::kR1b);
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(std::find(p2->begin(), p2->end(), Ev::kR2b), p2->end());
+}
+
+// ---------- Views ----------
+
+TEST(Views, ReaderOneNeverSeesR2FirstRoundAtRoundOne) {
+  const Execution b = make_beta(4, 1, 2, -1);
+  const ReadView v = view_of(b, 1);
+  ASSERT_EQ(v.first.replies.size(), 4u);
+  for (const auto& [s, log] : v.first.replies) {
+    EXPECT_EQ(std::find(log.begin(), log.end(), Ev::kR2a), log.end());
+  }
+}
+
+TEST(Views, SkippedServerAbsentFromView) {
+  const Execution b = make_beta(4, 1, 2, 3);
+  const ReadView v = view_of(b, 2);
+  EXPECT_EQ(v.first.replies.size(), 3u);
+  EXPECT_EQ(v.second.replies.size(), 3u);
+  for (const auto& [s, log] : v.first.replies) EXPECT_NE(s, 3);
+}
+
+TEST(Views, EqualityAndDigestConsistent) {
+  const Execution a = make_beta(5, 2, 3, 1);
+  const Execution b = make_beta(5, 2, 3, 1);
+  const Execution c = make_beta(5, 2, 4, 1);
+  EXPECT_EQ(view_of(a, 1), view_of(b, 1));
+  EXPECT_EQ(view_of(a, 1).digest(), view_of(b, 1).digest());
+  EXPECT_FALSE(view_of(a, 1) == view_of(c, 1));
+  EXPECT_NE(view_of(a, 1).digest(), view_of(c, 1).digest());
+}
+
+TEST(Views, FilterErasesOnlyOtherFirstRound) {
+  const Execution b = make_beta(4, 1, 2, -1);
+  const ReadView raw = view_of(b, 1);
+  const ReadView f = filter_other_first_round(raw, 1);
+  // Same shape.
+  ASSERT_EQ(f.second.replies.size(), raw.second.replies.size());
+  for (std::size_t i = 0; i < f.second.replies.size(); ++i) {
+    const auto& [s, log] = f.second.replies[i];
+    EXPECT_EQ(std::find(log.begin(), log.end(), Ev::kR2a), log.end())
+        << "R2a must be stripped from R1's filtered view";
+    // R2b survives filtering (second rounds are NOT assumed invisible).
+    const auto& raw_log = raw.second.replies[i].second;
+    const bool raw_has_r2b =
+        std::find(raw_log.begin(), raw_log.end(), Ev::kR2b) != raw_log.end();
+    const bool f_has_r2b =
+        std::find(log.begin(), log.end(), Ev::kR2b) != log.end();
+    EXPECT_EQ(raw_has_r2b, f_has_r2b);
+  }
+}
+
+// ---------- History extraction ----------
+
+TEST(ToHistory, SequentialHeadForcesTwo) {
+  const Execution a = make_alpha(3, 0);
+  EXPECT_TRUE(check_wing_gong(to_history(a, 2)).atomic);
+  EXPECT_FALSE(check_wing_gong(to_history(a, 1)).atomic);
+}
+
+TEST(ToHistory, SequentialTailForcesOne) {
+  const Execution a = make_alpha_tail(3);
+  EXPECT_TRUE(check_wing_gong(to_history(a, 1)).atomic);
+  EXPECT_FALSE(check_wing_gong(to_history(a, 2)).atomic);
+}
+
+TEST(ToHistory, ConcurrentWritesAllowEitherSingleRead) {
+  const Execution a = make_alpha(3, 1);
+  EXPECT_TRUE(check_wing_gong(to_history(a, 1)).atomic);
+  EXPECT_TRUE(check_wing_gong(to_history(a, 2)).atomic);
+}
+
+TEST(ToHistory, TwoReadsAfterWritesMustAgree) {
+  // Both writes complete before both (overlapping) reads: returns must match.
+  const Execution b = make_beta(3, 1, 0, -1);
+  EXPECT_TRUE(check_wing_gong(to_history(b, 1, 1)).atomic);
+  EXPECT_TRUE(check_wing_gong(to_history(b, 2, 2)).atomic);
+  EXPECT_FALSE(check_wing_gong(to_history(b, 1, 2)).atomic);
+  EXPECT_FALSE(check_wing_gong(to_history(b, 2, 1)).atomic);
+}
+
+TEST(ToHistory, SequentialStemPinsBothReads) {
+  const Execution b = make_beta(3, 0, 1, 2);  // stem 0: W1 < W2
+  EXPECT_TRUE(check_wing_gong(to_history(b, 2, 2)).atomic);
+  EXPECT_FALSE(check_wing_gong(to_history(b, 1, 1)).atomic);
+}
+
+TEST(ToHistoryOneRound, SequentialReadsMustAgreeEvenConcurrentWrites) {
+  Execution d;
+  d.writes = WriteRelation::kConcurrent;
+  d.has_r2 = true;
+  EXPECT_TRUE(check_wing_gong(to_history_one_round(d, 1, 1)).atomic);
+  EXPECT_TRUE(check_wing_gong(to_history_one_round(d, 2, 2)).atomic);
+  EXPECT_FALSE(check_wing_gong(to_history_one_round(d, 2, 1)).atomic);
+  EXPECT_FALSE(check_wing_gong(to_history_one_round(d, 1, 2)).atomic);
+}
+
+// ---------- Rules ----------
+
+TEST(Rules, MajorityDecidesByOrderCounts) {
+  const MajorityOrderRule rule;
+  EXPECT_EQ(rule.decide(view_of(make_alpha(5, 0), 1), 1), 2);
+  EXPECT_EQ(rule.decide(view_of(make_alpha(5, 5), 1), 1), 1);
+  EXPECT_EQ(rule.decide(view_of(make_alpha(5, 4), 1), 1), 1);
+  EXPECT_EQ(rule.decide(view_of(make_alpha(5, 1), 1), 1), 2);
+}
+
+TEST(Rules, AllStandardRulesRespectForcedEnds) {
+  // Every sane candidate returns 2 at the head and 1 at the tail.
+  for (const auto& rule : standard_rules()) {
+    for (int S = 3; S <= 6; ++S) {
+      EXPECT_EQ(rule->decide(view_of(make_alpha(S, 0), 1), 1), 2)
+          << rule->name() << " S=" << S;
+      EXPECT_EQ(rule->decide(view_of(make_alpha_tail(S), 1), 1), 1)
+          << rule->name() << " S=" << S;
+    }
+  }
+}
+
+TEST(Rules, FirstRoundInvarianceByConstruction) {
+  // decide() must ignore the other reader's first-round markers: evaluate on
+  // a view and on the same view with R2a stripped -- identical results.
+  const Execution b = make_beta(5, 2, 3, -1);
+  const ReadView raw = view_of(b, 1);
+  const ReadView stripped = filter_other_first_round(raw, 1);
+  for (const auto& rule : standard_rules()) {
+    EXPECT_EQ(rule->decide(raw, 1), rule->decide(stripped, 1)) << rule->name();
+  }
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const RandomizedRule rule(seed);
+    EXPECT_EQ(rule.decide(raw, 1), rule.decide(stripped, 1)) << rule.name();
+  }
+}
+
+TEST(Rules, RandomizedRulesAreDeterministicAndDiverse) {
+  const Execution b = make_beta(5, 2, 3, -1);
+  const ReadView v = view_of(b, 1);
+  int ones = 0;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const RandomizedRule r1(seed), r2(seed);
+    EXPECT_EQ(r1.decide(v, 1), r2.decide(v, 1));
+    ones += (r1.decide(v, 1) == 1);
+  }
+  EXPECT_GT(ones, 5);
+  EXPECT_LT(ones, 35);
+}
+
+}  // namespace
+}  // namespace mwreg::fullinfo

@@ -1,0 +1,264 @@
+// Unit tests for the discrete-event simulator and network substrate.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/delay_model.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace mwreg {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, NestedSchedulingRuns) {
+  Simulator sim;
+  int hits = 0;
+  sim.schedule_at(1, [&] {
+    ++hits;
+    sim.schedule_after(5, [&] {
+      ++hits;
+      sim.schedule_after(5, [&] { ++hits; });
+    });
+  });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(hits, 3);
+  EXPECT_EQ(sim.now(), 11);
+}
+
+TEST(Simulator, PastEventsClampToNow) {
+  Simulator sim;
+  Time seen = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_at(5, [&] { seen = sim.now(); });  // "5" is in the past
+  });
+  sim.run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int hits = 0;
+  sim.schedule_at(10, [&] { ++hits; });
+  sim.schedule_at(20, [&] { ++hits; });
+  sim.schedule_at(30, [&] { ++hits; });
+  EXPECT_EQ(sim.run_until(20), 2u);
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(sim.now(), 20);
+  sim.run();
+  EXPECT_EQ(hits, 3);
+}
+
+// ---------- Network ----------
+
+class Recorder final : public Process {
+ public:
+  Recorder(NodeId id, Network& net) : Process(id, net) {}
+  void on_message(const Message& m) override {
+    received.push_back(m);
+    times.push_back(sim().now());
+  }
+  std::vector<Message> received;
+  std::vector<Time> times;
+
+  void post(NodeId dst, MsgType type) { send(dst, type, 0, {}); }
+};
+
+struct Rig {
+  explicit Rig(std::unique_ptr<DelayModel> delay, bool fifo = false,
+               std::uint64_t seed = 1)
+      : net(sim, std::move(delay), Rng(seed), fifo), a(0, net), b(1, net) {}
+  Simulator sim;
+  Network net;
+  Recorder a, b;
+};
+
+TEST(Network, DeliversWithConstantDelay) {
+  Rig rig(std::make_unique<ConstantDelay>(100));
+  rig.a.post(1, 7);
+  rig.sim.run();
+  ASSERT_EQ(rig.b.received.size(), 1u);
+  EXPECT_EQ(rig.b.received[0].type, 7u);
+  EXPECT_EQ(rig.b.times[0], 100);
+  EXPECT_EQ(rig.net.stats().delivered, 1u);
+}
+
+TEST(Network, CrashedDestinationDropsMessages) {
+  Rig rig(std::make_unique<ConstantDelay>(10));
+  rig.net.crash(1);
+  rig.a.post(1, 1);
+  rig.sim.run();
+  EXPECT_TRUE(rig.b.received.empty());
+  EXPECT_EQ(rig.net.stats().to_crashed, 1u);
+}
+
+TEST(Network, CrashedSourceSendsNothing) {
+  Rig rig(std::make_unique<ConstantDelay>(10));
+  rig.net.crash(0);
+  rig.a.post(1, 1);
+  rig.sim.run();
+  EXPECT_TRUE(rig.b.received.empty());
+}
+
+TEST(Network, CrashDropsInFlight) {
+  // A message already in flight must not be delivered to a node that
+  // crashes before the delivery time.
+  Rig rig(std::make_unique<ConstantDelay>(100));
+  rig.a.post(1, 1);
+  rig.sim.schedule_at(50, [&] { rig.net.crash(1); });
+  rig.sim.run();
+  EXPECT_TRUE(rig.b.received.empty());
+}
+
+TEST(Network, BlockedLinkHoldsThenReleases) {
+  Rig rig(std::make_unique<ConstantDelay>(10));
+  rig.net.block_link(0, 1);
+  rig.a.post(1, 1);
+  rig.sim.run();
+  EXPECT_TRUE(rig.b.received.empty());
+  EXPECT_EQ(rig.net.stats().held, 1u);
+
+  rig.net.unblock_link(0, 1);
+  rig.sim.run();
+  ASSERT_EQ(rig.b.received.size(), 1u);
+  EXPECT_EQ(rig.net.stats().held, 0u);
+}
+
+TEST(Network, BlockAppliedAtDeliveryTime) {
+  // Message sent before the block but delivered after: must be held.
+  Rig rig(std::make_unique<ConstantDelay>(100));
+  rig.a.post(1, 1);
+  rig.sim.schedule_at(10, [&] { rig.net.block_link(0, 1); });
+  rig.sim.run();
+  EXPECT_TRUE(rig.b.received.empty());
+  rig.net.unblock_link(0, 1);
+  rig.sim.run();
+  EXPECT_EQ(rig.b.received.size(), 1u);
+}
+
+TEST(Network, BlockPairBlocksBothDirections) {
+  Rig rig(std::make_unique<ConstantDelay>(10));
+  rig.net.block_pair(0, 1);
+  rig.a.post(1, 1);
+  rig.b.post(0, 2);
+  rig.sim.run();
+  EXPECT_TRUE(rig.a.received.empty());
+  EXPECT_TRUE(rig.b.received.empty());
+  rig.net.unblock_pair(0, 1);
+  rig.sim.run();
+  EXPECT_EQ(rig.a.received.size(), 1u);
+  EXPECT_EQ(rig.b.received.size(), 1u);
+}
+
+TEST(Network, NonFifoCanReorder) {
+  // With uniform delays some pair of back-to-back messages reorders.
+  Rig rig(std::make_unique<UniformDelay>(1, 1000), /*fifo=*/false, /*seed=*/3);
+  for (MsgType i = 0; i < 20; ++i) rig.a.post(1, i);
+  rig.sim.run();
+  ASSERT_EQ(rig.b.received.size(), 20u);
+  bool reordered = false;
+  for (std::size_t i = 1; i < 20; ++i) {
+    if (rig.b.received[i].type < rig.b.received[i - 1].type) reordered = true;
+  }
+  EXPECT_TRUE(reordered);
+}
+
+TEST(Network, FifoPreservesPerLinkOrder) {
+  Rig rig(std::make_unique<UniformDelay>(1, 1000), /*fifo=*/true, /*seed=*/3);
+  for (MsgType i = 0; i < 20; ++i) rig.a.post(1, i);
+  rig.sim.run();
+  ASSERT_EQ(rig.b.received.size(), 20u);
+  for (std::size_t i = 1; i < 20; ++i) {
+    EXPECT_LE(rig.b.received[i - 1].type, rig.b.received[i].type);
+  }
+}
+
+TEST(Network, DeliveryHookObservesTimes) {
+  Rig rig(std::make_unique<ConstantDelay>(42));
+  Time sent = -1, delivered = -1;
+  rig.net.set_delivery_hook([&](const Message&, Time s, Time d) {
+    sent = s;
+    delivered = d;
+  });
+  rig.a.post(1, 1);
+  rig.sim.run();
+  EXPECT_EQ(sent, 0);
+  EXPECT_EQ(delivered, 42);
+}
+
+// Determinism: identical seeds give identical delivery schedules.
+TEST(Network, DeterministicAcrossRuns) {
+  auto run_once = [](std::uint64_t seed) {
+    Rig rig(std::make_unique<UniformDelay>(1, 500), false, seed);
+    for (MsgType i = 0; i < 32; ++i) {
+      rig.a.post(1, i);
+      rig.b.post(0, 100 + i);
+    }
+    rig.sim.run();
+    std::vector<std::pair<MsgType, Time>> log;
+    for (std::size_t i = 0; i < rig.b.received.size(); ++i) {
+      log.emplace_back(rig.b.received[i].type, rig.b.times[i]);
+    }
+    return log;
+  };
+  EXPECT_EQ(run_once(9), run_once(9));
+  EXPECT_NE(run_once(9), run_once(10));
+}
+
+// ---------- Delay models ----------
+
+TEST(DelayModel, UniformWithinBounds) {
+  UniformDelay d(5, 10);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const Duration v = d.sample(0, 1, rng);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 10);
+  }
+}
+
+TEST(DelayModel, LogNormalPositiveAndSpread) {
+  LogNormalDelay d(1 * kMillisecond, 0.5);
+  Rng rng(2);
+  Duration lo = kTimeMax, hi = 0;
+  for (int i = 0; i < 500; ++i) {
+    const Duration v = d.sample(0, 1, rng);
+    EXPECT_GT(v, 0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_LT(lo, 1 * kMillisecond);
+  EXPECT_GT(hi, 1 * kMillisecond);
+}
+
+TEST(DelayModel, GeoUsesSiteMatrix) {
+  // Two sites, 100ms apart; same-site is 1ms.
+  GeoDelay d({{1.0, 100.0}, {100.0, 1.0}}, {0, 1}, /*jitter=*/0.0);
+  Rng rng(3);
+  EXPECT_EQ(d.sample(0, 0, rng), static_cast<Duration>(0.5 * kMillisecond));
+  EXPECT_EQ(d.sample(0, 1, rng), static_cast<Duration>(50.0 * kMillisecond));
+}
+
+}  // namespace
+}  // namespace mwreg

@@ -1,0 +1,214 @@
+// Safe / regular / atomic: the consistency axis of Fig. 2. Unit tests for
+// the weak checkers, the implication chain as a property over random
+// histories, and the protocol classifications: the regular-fast-read
+// baseline is regular but not atomic; the naive fast-write strawman is not
+// even safe.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "consistency/checkers.h"
+#include "consistency/weak_checkers.h"
+#include "core/harness.h"
+#include "core/workload.h"
+#include "protocols/protocols.h"
+
+namespace mwreg {
+namespace {
+
+struct Builder {
+  History h;
+  NodeId next_client = 100;
+  void write(Time s, Time f, Tag tag, std::int64_t p) {
+    const OpId id = h.begin_op(next_client++, OpKind::kWrite, s);
+    if (f != kTimeMax) {
+      h.end_op(id, f, TaggedValue{tag, p});
+    } else {
+      h.set_value(id, TaggedValue{tag, p});
+    }
+  }
+  void read(Time s, Time f, Tag tag, std::int64_t p) {
+    const OpId id = h.begin_op(next_client++, OpKind::kRead, s);
+    h.end_op(id, f, TaggedValue{tag, p});
+  }
+};
+
+TEST(WeakCheckers, SequentialHistoryPassesAll) {
+  Builder b;
+  b.write(0, 10, Tag{1, 0}, 1);
+  b.read(20, 30, Tag{1, 0}, 1);
+  EXPECT_TRUE(check_safe(b.h).atomic);
+  EXPECT_TRUE(check_regular(b.h).atomic);
+  EXPECT_TRUE(check_tag_witness(b.h).atomic);
+}
+
+TEST(WeakCheckers, NewOldInversionIsRegularNotAtomic) {
+  // W1 done; W2 concurrent with both reads; reads see new then old.
+  Builder b;
+  b.write(0, 10, Tag{1, 0}, 1);
+  b.write(20, 100, Tag{2, 1}, 2);
+  b.read(30, 35, Tag{2, 1}, 2);
+  b.read(40, 45, Tag{1, 0}, 1);
+  EXPECT_TRUE(check_regular(b.h).atomic);
+  EXPECT_TRUE(check_safe(b.h).atomic);
+  EXPECT_FALSE(check_wing_gong(b.h).atomic);
+}
+
+TEST(WeakCheckers, LostUpdateViolatesRegularButMaybeSafe) {
+  // W1 then W2 both complete; a later read (no concurrency) returns W1.
+  Builder b;
+  b.write(0, 10, Tag{1, 0}, 1);
+  b.write(20, 30, Tag{2, 1}, 2);
+  b.read(40, 50, Tag{1, 0}, 1);
+  EXPECT_FALSE(check_regular(b.h).atomic);
+  EXPECT_FALSE(check_safe(b.h).atomic);  // read overlaps no write
+}
+
+TEST(WeakCheckers, StaleReadUnderConcurrencyIsSafeOnly) {
+  // Same lost update, but a third write overlaps the read: safety no longer
+  // constrains it, regularity still does.
+  Builder b;
+  b.write(0, 10, Tag{1, 0}, 1);
+  b.write(20, 30, Tag{2, 1}, 2);
+  b.write(35, 100, Tag{3, 0}, 3);  // concurrent with the read
+  b.read(40, 50, Tag{1, 0}, 1);
+  EXPECT_FALSE(check_regular(b.h).atomic);
+  EXPECT_TRUE(check_safe(b.h).atomic);
+}
+
+TEST(WeakCheckers, ReadingConcurrentWriteIsRegular) {
+  Builder b;
+  b.write(0, 100, Tag{1, 0}, 1);
+  b.read(10, 20, Tag{1, 0}, 1);
+  EXPECT_TRUE(check_regular(b.h).atomic);
+}
+
+TEST(WeakCheckers, BottomAfterCompletedWriteViolatesRegular) {
+  Builder b;
+  b.write(0, 10, Tag{1, 0}, 1);
+  b.read(20, 30, kBottomTag, 0);
+  EXPECT_FALSE(check_regular(b.h).atomic);
+  EXPECT_FALSE(check_safe(b.h).atomic);
+}
+
+TEST(WeakCheckers, NeverWrittenTagRejectedEverywhere) {
+  Builder b;
+  b.read(0, 5, Tag{9, 9}, 9);
+  EXPECT_FALSE(check_regular(b.h).atomic);
+  EXPECT_FALSE(check_safe(b.h).atomic);
+}
+
+// ---------- Implication chain as a property ----------
+
+class ImplicationChain : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ImplicationChain, AtomicImpliesRegularImpliesSafe) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    Builder b;
+    const int n_w = 2 + static_cast<int>(rng.next_below(3));
+    std::vector<TaggedValue> vals;
+    for (int i = 0; i < n_w; ++i) {
+      const Tag tag{rng.next_in(1, 4), static_cast<NodeId>(i)};
+      const Time s = rng.next_in(0, 100);
+      vals.push_back(TaggedValue{tag, tag.ts * 100 + i});
+      b.write(s, rng.next_bool(0.15) ? kTimeMax : rng.next_in(s, 120),
+              tag, tag.ts * 100 + i);
+    }
+    for (int i = 0; i < 4; ++i) {
+      const Time s = rng.next_in(0, 100);
+      if (rng.next_bool(0.8)) {
+        const TaggedValue& v = vals[rng.next_below(vals.size())];
+        b.read(s, rng.next_in(s, 120), v.tag, v.payload);
+      } else {
+        b.read(s, rng.next_in(s, 120), kBottomTag, 0);
+      }
+    }
+    if (!b.h.unique_write_tags()) continue;
+    const bool atomic = check_wing_gong(b.h).atomic;
+    const bool regular = check_regular(b.h).atomic;
+    const bool safe = check_safe(b.h).atomic;
+    EXPECT_LE(atomic, regular) << b.h.to_string();
+    EXPECT_LE(regular, safe) << b.h.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImplicationChain,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// ---------- Protocol classification ----------
+
+TEST(RegularFastRead, DeterministicInversionIsRegularNotAtomic) {
+  // The paper's Section 1 story: one-round quorum reads give regularity.
+  // Confine a concurrent write's second round to one server; a reader that
+  // hears it sees the new value, a subsequent reader that misses it does not.
+  const ClusterConfig cfg{3, 1, 2, 1};
+  SimHarness::Options o;
+  o.cfg = cfg;
+  o.seed = 1;
+  o.delay = std::make_unique<ConstantDelay>(kMillisecond);
+  SimHarness h(*protocol_by_name("regular-fast-read(W2R1)"), std::move(o));
+
+  const NodeId writer = cfg.writer_id(0);
+  const OpId wop = h.async_write(0, 7);
+  // Cut the writer off from servers 1,2 after its query round (2ms).
+  h.sim().schedule_at(2 * kMillisecond + 1, [&]() {
+    h.net().block_link(writer, 1);
+    h.net().block_link(writer, 2);
+  });
+  h.run();
+  h.history().set_value(wop, TaggedValue{Tag{1, writer}, 7});
+
+  // Reader 0 hears server 0 (plus one more): sees the new value.
+  h.net().block_link(1, cfg.reader_id(0));
+  std::int64_t first = -1, second = -1;
+  h.sim().run_until(h.sim().now() + 1);
+  h.async_read(0, [&](TaggedValue v) { first = v.payload; });
+  h.run();
+  // Reader 1 misses server 0: sees the old value.
+  h.net().block_link(0, cfg.reader_id(1));
+  h.sim().run_until(h.sim().now() + 1);
+  h.async_read(1, [&](TaggedValue v) { second = v.payload; });
+  h.run();
+
+  EXPECT_EQ(first, 7);
+  EXPECT_EQ(second, 0);
+  EXPECT_FALSE(check_wing_gong(h.history()).atomic);
+  EXPECT_TRUE(check_regular(h.history()).atomic)
+      << check_regular(h.history()).violation;
+}
+
+TEST(RegularFastRead, RandomWorkloadsStayRegular) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SimHarness::Options o;
+    o.cfg = ClusterConfig{5, 3, 3, 2};
+    o.seed = seed;
+    SimHarness h(*protocol_by_name("regular-fast-read(W2R1)"), std::move(o));
+    WorkloadOptions w;
+    run_random_workload(h, w);
+    EXPECT_TRUE(check_regular(h.history()).atomic) << "seed " << seed;
+  }
+}
+
+TEST(NaiveFastWrite, LostUpdateIsNotEvenSafe) {
+  const ClusterConfig cfg{3, 2, 2, 1};
+  SimHarness::Options o;
+  o.cfg = cfg;
+  o.seed = 1;
+  SimHarness h(*protocol_by_name("naive-fast-write(W1R2)"), std::move(o));
+  for (int i = 1; i <= 3; ++i) {
+    h.async_write(0, i * 10);
+    h.run();
+  }
+  h.async_write(1, 999);
+  h.run();
+  h.sim().run_until(h.sim().now() + 1);
+  h.async_read(0);
+  h.run();
+  EXPECT_FALSE(check_safe(h.history()).atomic);
+  EXPECT_FALSE(check_regular(h.history()).atomic);
+}
+
+}  // namespace
+}  // namespace mwreg
