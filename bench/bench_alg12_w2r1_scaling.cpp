@@ -2,73 +2,69 @@
 // Throughput/latency versus cluster size and reader count, with every
 // history machine-checked, plus the cost drivers specific to the algorithm
 // (valQueue growth, admissibility search).
+//
+// Both sweeps are declarative ExperimentSpecs executed by the parallel
+// exp::Runner; rows are aggregated cells.
 #include <memory>
 
 #include "bench/bench_util.h"
-#include "consistency/checkers.h"
-#include "core/harness.h"
-#include "core/workload.h"
+#include "exp/aggregator.h"
+#include "exp/runner.h"
 #include "protocols/protocols.h"
 
 namespace mwreg {
 namespace {
 
-struct RunStats {
-  LatencyStats write, read;
-  bool atomic = false;
-  double msgs_per_op = 0;
-};
+exp::ExperimentSpec scaling_spec(const std::string& name,
+                                 std::vector<ClusterConfig> clusters, int ops,
+                                 std::uint64_t seed) {
+  exp::ExperimentSpec spec;
+  spec.name = name;
+  spec.protocols = {"fast-read-mw(W2R1)"};
+  spec.clusters = std::move(clusters);
+  spec.seed_lo = seed;
+  spec.seeds = 1;
+  spec.delay = exp::uniform_delay(1 * kMillisecond, 5 * kMillisecond);
+  spec.workload.ops_per_writer = ops;
+  spec.workload.ops_per_reader = ops;
+  return spec;
+}
 
-RunStats run_cell(ClusterConfig cfg, int ops, std::uint64_t seed) {
-  SimHarness::Options o;
-  o.cfg = cfg;
-  o.seed = seed;
-  o.delay = std::make_unique<UniformDelay>(1 * kMillisecond, 5 * kMillisecond);
-  SimHarness h(*protocol_by_name("fast-read-mw(W2R1)"), std::move(o));
-  WorkloadOptions w;
-  w.ops_per_writer = ops;
-  w.ops_per_reader = ops;
-  run_random_workload(h, w);
-  RunStats rs;
-  rs.write = latency_of(h.history(), OpKind::kWrite);
-  rs.read = latency_of(h.history(), OpKind::kRead);
-  rs.atomic = check_tag_witness(h.history()).atomic;
-  rs.msgs_per_op = static_cast<double>(h.net().stats().sent) /
-                   static_cast<double>(h.history().completed_count());
-  return rs;
+void print_cells(const std::vector<exp::CellStats>& cells,
+                 const std::vector<int>& w) {
+  using bench::fmt;
+  using bench::row;
+  row({"cluster", "write p50", "write p99", "read p50", "read p99",
+       "msgs/op", "atomic"},
+      w);
+  for (const exp::CellStats& c : cells) {
+    row({c.cfg.to_string(), fmt(c.write.p50_ms) + "ms",
+         fmt(c.write.p99_ms) + "ms", fmt(c.read.p50_ms) + "ms",
+         fmt(c.read.p99_ms) + "ms", fmt(c.msgs_per_op, 1),
+         c.all_atomic() ? "yes" : "NO!"},
+        w);
+  }
 }
 
 void report() {
-  using bench::fmt;
   using bench::header;
-  using bench::row;
   const std::vector<int> w{22, 12, 12, 12, 12, 11, 8};
+  const exp::Runner runner;
 
   header("Algorithm 1 & 2 scaling: S sweep (t=1, W=2, R=2, 25 ops/client)");
-  row({"cluster", "write p50", "write p99", "read p50", "read p99",
-       "msgs/op", "atomic"},
-      w);
-  for (int S : {5, 7, 9, 12, 16}) {
-    const ClusterConfig cfg{S, 2, 2, 1};
-    const RunStats rs = run_cell(cfg, 25, 7);
-    row({cfg.to_string(), fmt(rs.write.p50_ms) + "ms", fmt(rs.write.p99_ms) + "ms",
-         fmt(rs.read.p50_ms) + "ms", fmt(rs.read.p99_ms) + "ms",
-         fmt(rs.msgs_per_op, 1), rs.atomic ? "yes" : "NO!"},
-        w);
-  }
+  std::vector<ClusterConfig> s_sweep;
+  for (int S : {5, 7, 9, 12, 16}) s_sweep.push_back(ClusterConfig{S, 2, 2, 1});
+  print_cells(exp::aggregate(runner.run(
+                  scaling_spec("alg12-s-sweep", std::move(s_sweep), 25, 7))),
+              w);
 
   header("Algorithm 1 & 2 scaling: R sweep (t=1, W=2, S = (R+3)t so R < S/t-2)");
-  row({"cluster", "write p50", "write p99", "read p50", "read p99",
-       "msgs/op", "atomic"},
-      w);
-  for (int R : {2, 3, 4, 5, 6}) {
-    const ClusterConfig cfg{R + 3, 2, R, 1};
-    const RunStats rs = run_cell(cfg, 20, 9);
-    row({cfg.to_string(), fmt(rs.write.p50_ms) + "ms", fmt(rs.write.p99_ms) + "ms",
-         fmt(rs.read.p50_ms) + "ms", fmt(rs.read.p99_ms) + "ms",
-         fmt(rs.msgs_per_op, 1), rs.atomic ? "yes" : "NO!"},
-        w);
-  }
+  std::vector<ClusterConfig> r_sweep;
+  for (int R : {2, 3, 4, 5, 6}) r_sweep.push_back(ClusterConfig{R + 3, 2, R, 1});
+  print_cells(exp::aggregate(runner.run(
+                  scaling_spec("alg12-r-sweep", std::move(r_sweep), 20, 9))),
+              w);
+
   std::printf(
       "\nExpected shape: read latency stays ~1 RTT (half the write's 2 RTT)\n"
       "at every scale; messages/op grows linearly in S (client-server only,\n"
@@ -77,30 +73,50 @@ void report() {
 
 void BM_W2R1Workload(benchmark::State& state) {
   const int S = static_cast<int>(state.range(0));
-  const ClusterConfig cfg{S, 2, 2, 1};
+  const exp::ExperimentSpec spec =
+      scaling_spec("bm", {ClusterConfig{S, 2, 2, 1}}, 10, 3);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(run_cell(cfg, 10, 3).atomic);
+    benchmark::DoNotOptimize(
+        exp::run_trial(spec, 0, 0, spec.protocols[0], spec.clusters[0], 3)
+            .tag_atomic);
   }
   state.SetItemsProcessed(state.iterations() * 40);
 }
 BENCHMARK(BM_W2R1Workload)->Arg(5)->Arg(9)->Arg(16);
 
 void BM_W2R1ReadHeavy(benchmark::State& state) {
-  const ClusterConfig cfg{9, 1, 4, 1};
+  exp::ExperimentSpec spec;
+  spec.name = "bm-read-heavy";
+  spec.protocols = {"fast-read-mw(W2R1)"};
+  spec.clusters = {ClusterConfig{9, 1, 4, 1}};
+  spec.seed_lo = 5;
+  spec.workload.ops_per_writer = 5;
+  spec.workload.ops_per_reader = 40;
   for (auto _ : state) {
-    SimHarness::Options o;
-    o.cfg = cfg;
-    o.seed = 5;
-    SimHarness h(*protocol_by_name("fast-read-mw(W2R1)"), std::move(o));
-    WorkloadOptions w;
-    w.ops_per_writer = 5;
-    w.ops_per_reader = 40;
-    run_random_workload(h, w);
-    benchmark::DoNotOptimize(h.history().completed_count());
+    benchmark::DoNotOptimize(
+        exp::run_trial(spec, 0, 0, spec.protocols[0], spec.clusters[0], 5)
+            .completed_ops);
   }
   state.SetItemsProcessed(state.iterations() * 165);
 }
 BENCHMARK(BM_W2R1ReadHeavy);
+
+/// Thread scaling of the Runner itself over a fixed 24-trial pool.
+void BM_RunnerThreads(benchmark::State& state) {
+  std::vector<ClusterConfig> clusters;
+  for (int S : {5, 7, 9}) clusters.push_back(ClusterConfig{S, 2, 2, 1});
+  exp::ExperimentSpec spec =
+      scaling_spec("bm-pool", std::move(clusters), 10, 1);
+  spec.seeds = 8;
+  exp::Runner::Options o;
+  o.threads = static_cast<int>(state.range(0));
+  const exp::Runner runner(o);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(spec).size());
+  }
+  state.SetItemsProcessed(state.iterations() * 24);
+}
+BENCHMARK(BM_RunnerThreads)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 }  // namespace mwreg

@@ -3,58 +3,51 @@
 // by latency. We measure actual operation latency for every protocol under
 // a constant-delay network (where the factor of two is exact) and a
 // geo-replicated delay matrix (where it shows up in the tail).
+//
+// Each delay regime is one ExperimentSpec; the parallel exp::Runner drives
+// all four protocol cells and the Aggregator produces the rows.
 #include <memory>
 
 #include "bench/bench_util.h"
-#include "consistency/checkers.h"
-#include "core/harness.h"
-#include "core/workload.h"
+#include "exp/aggregator.h"
+#include "exp/runner.h"
 #include "protocols/protocols.h"
 
 namespace mwreg {
 namespace {
 
-struct Cell {
-  const char* proto;
-  ClusterConfig cfg;
-};
-
-const std::vector<Cell>& cells() {
-  // Configurations under which each protocol is atomic.
-  static const std::vector<Cell> kCells{
-      {"fast-swmr(W1R1)", ClusterConfig{7, 1, 3, 1}},
-      {"abd-swmr(W1R2)", ClusterConfig{7, 1, 3, 1}},
-      {"fast-read-mw(W2R1)", ClusterConfig{7, 2, 3, 1}},
-      {"mw-abd(W2R2)", ClusterConfig{7, 2, 3, 1}},
+exp::DelayFactory make_geo() {
+  return [](const ClusterConfig& cfg) -> std::unique_ptr<DelayModel> {
+    // Three sites ~ US-East / US-West / EU; servers round-robin across
+    // sites, clients at site 0.
+    std::vector<std::vector<double>> rtt{
+        {2, 70, 90}, {70, 2, 140}, {90, 140, 2}};
+    std::vector<int> site(static_cast<std::size_t>(cfg.total_nodes()), 0);
+    for (int s = 0; s < cfg.s(); ++s) site[static_cast<std::size_t>(s)] = s % 3;
+    return std::make_unique<GeoDelay>(std::move(rtt), std::move(site));
   };
-  return kCells;
 }
 
-std::unique_ptr<DelayModel> make_geo(const ClusterConfig& cfg) {
-  // Three sites ~ US-East / US-West / EU; servers round-robin across sites,
-  // clients at site 0.
-  std::vector<std::vector<double>> rtt{{2, 70, 90}, {70, 2, 140}, {90, 140, 2}};
-  std::vector<int> site(static_cast<std::size_t>(cfg.total_nodes()), 0);
-  for (int s = 0; s < cfg.s(); ++s) site[static_cast<std::size_t>(s)] = s % 3;
-  return std::make_unique<GeoDelay>(std::move(rtt), std::move(site));
+exp::ExperimentSpec fig2_spec(bool geo) {
+  exp::ExperimentSpec spec;
+  spec.name = geo ? "fig2-geo" : "fig2-constant";
+  // Hierarchy order; each protocol paired with a cluster where it is
+  // atomic (single-writer protocols get W=1).
+  spec.protocols = {"fast-swmr(W1R1)", "abd-swmr(W1R2)"};
+  spec.clusters = {ClusterConfig{7, 1, 3, 1}};
+  spec.seed_lo = 42;
+  spec.seeds = 1;
+  spec.delay = geo ? make_geo() : exp::constant_delay(25 * kMillisecond);
+  spec.workload.ops_per_writer = 30;
+  spec.workload.ops_per_reader = 30;
+  return spec;
 }
 
-void run_cell(const Cell& c, bool geo, LatencyStats* w_out, LatencyStats* r_out,
-              bool* atomic_out) {
-  SimHarness::Options o;
-  o.cfg = c.cfg;
-  o.seed = 42;
-  o.delay = geo ? make_geo(c.cfg)
-                : std::unique_ptr<DelayModel>(
-                      std::make_unique<ConstantDelay>(25 * kMillisecond));
-  SimHarness h(*protocol_by_name(c.proto), std::move(o));
-  WorkloadOptions w;
-  w.ops_per_writer = 30;
-  w.ops_per_reader = 30;
-  run_random_workload(h, w);
-  *w_out = latency_of(h.history(), OpKind::kWrite);
-  *r_out = latency_of(h.history(), OpKind::kRead);
-  *atomic_out = check_tag_witness(h.history()).atomic;
+exp::ExperimentSpec fig2_mw_spec(bool geo) {
+  exp::ExperimentSpec spec = fig2_spec(geo);
+  spec.protocols = {"fast-read-mw(W2R1)", "mw-abd(W2R2)"};
+  spec.clusters = {ClusterConfig{7, 2, 3, 1}};
+  return spec;
 }
 
 void report() {
@@ -62,6 +55,7 @@ void report() {
   using bench::header;
   using bench::row;
   const std::vector<int> w{22, 12, 12, 12, 12, 9};
+  const exp::Runner runner;
 
   for (const bool geo : {false, true}) {
     header(std::string("Fig. 2 latency hierarchy -- ") +
@@ -69,13 +63,12 @@ void report() {
     row({"protocol", "write p50", "write p99", "read p50", "read p99",
          "atomic"},
         w);
-    for (const Cell& c : cells()) {
-      LatencyStats ws, rs;
-      bool atomic = false;
-      run_cell(c, geo, &ws, &rs, &atomic);
-      row({c.proto, fmt(ws.p50_ms) + "ms", fmt(ws.p99_ms) + "ms",
-           fmt(rs.p50_ms) + "ms", fmt(rs.p99_ms) + "ms",
-           atomic ? "yes" : "NO!"},
+    const std::vector<exp::CellStats> cells =
+        exp::aggregate(runner.run_all({fig2_spec(geo), fig2_mw_spec(geo)}));
+    for (const exp::CellStats& c : cells) {
+      row({c.protocol, fmt(c.write.p50_ms) + "ms", fmt(c.write.p99_ms) + "ms",
+           fmt(c.read.p50_ms) + "ms", fmt(c.read.p99_ms) + "ms",
+           c.all_atomic() ? "yes" : "NO!"},
           w);
     }
   }
@@ -86,14 +79,15 @@ void report() {
 }
 
 void BM_OperationLatency(benchmark::State& state) {
-  const Cell& c = cells()[static_cast<std::size_t>(state.range(0))];
+  const bool mw = state.range(0) >= 2;
+  const exp::ExperimentSpec spec = mw ? fig2_mw_spec(false) : fig2_spec(false);
+  const std::string& proto = spec.protocols[state.range(0) % 2];
   for (auto _ : state) {
-    LatencyStats ws, rs;
-    bool atomic = false;
-    run_cell(c, false, &ws, &rs, &atomic);
-    benchmark::DoNotOptimize(ws.mean_ms + rs.mean_ms);
+    const exp::TrialResult tr =
+        exp::run_trial(spec, 0, 0, proto, spec.clusters[0], spec.seed_lo);
+    benchmark::DoNotOptimize(tr.completed_ops);
   }
-  state.SetLabel(c.proto);
+  state.SetLabel(proto);
 }
 BENCHMARK(BM_OperationLatency)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 

@@ -10,6 +10,11 @@
 //          bound the Fig. 9 schedule produces a checked violation;
 //   W1R1 : impossible for W >= 2 (chain engine); the single-writer protocol
 //          runs atomically below the fast-read bound.
+//
+// The protocol-execution evidence (W2R2/W2R1/W1R1 "implementation" columns)
+// runs through the parallel exp::Runner as declarative specs; the report
+// also replays the same specs single-threaded and asserts verdict parity.
+// The chain-engine certificates are CPU-bound search, kept as direct calls.
 #include "bench/bench_util.h"
 #include "chains/fastread_adversary.h"
 #include "chains/w1r1.h"
@@ -18,24 +23,56 @@
 #include "consistency/checkers.h"
 #include "core/harness.h"
 #include "core/workload.h"
+#include "exp/aggregator.h"
+#include "exp/runner.h"
 #include "fullinfo/rules.h"
 #include "protocols/protocols.h"
 
 namespace mwreg {
 namespace {
 
-bool run_protocol_atomic(const std::string& name, ClusterConfig cfg,
-                         std::uint64_t seed) {
-  SimHarness::Options o;
-  o.cfg = cfg;
-  o.seed = seed;
-  SimHarness h(*protocol_by_name(name), std::move(o));
-  WorkloadOptions w;
-  w.ops_per_writer = 10;
-  w.ops_per_reader = 10;
-  run_random_workload(h, w);
-  return check_tag_witness(h.history()).atomic &&
-         check_unique_value_graph(h.history()).atomic;
+/// One spec per Table-1 implementation column; cells() order matches the
+/// order the report consumes them in.
+std::vector<exp::ExperimentSpec> table1_specs() {
+  exp::ExperimentSpec w2r2;
+  w2r2.name = "table1-w2r2";
+  w2r2.protocols = {"mw-abd(W2R2)"};
+  w2r2.clusters = {ClusterConfig{3, 3, 3, 1}, ClusterConfig{5, 3, 3, 2},
+                   ClusterConfig{7, 3, 3, 3}};
+  w2r2.seed_lo = 7;
+  w2r2.workload.ops_per_writer = 10;
+  w2r2.workload.ops_per_reader = 10;
+  w2r2.check_graph = true;
+
+  exp::ExperimentSpec w2r1;
+  w2r1.name = "table1-w2r1";
+  w2r1.protocols = {"fast-read-mw(W2R1)"};
+  for (int S = 4; S <= 9; ++S) {
+    for (int R = 2; R <= 5; ++R) {
+      const ClusterConfig cfg{S, 2, R, 1};
+      if (cfg.supports_fast_read()) w2r1.clusters.push_back(cfg);
+    }
+  }
+  w2r1.seed_lo = 11;
+  w2r1.workload = w2r2.workload;
+  w2r1.check_graph = true;
+
+  exp::ExperimentSpec w1r1;
+  w1r1.name = "table1-w1r1";
+  w1r1.protocols = {"fast-swmr(W1R1)"};
+  w1r1.clusters = {ClusterConfig{5, 1, 2, 1}};
+  w1r1.seed_lo = 5;
+  w1r1.workload = w2r2.workload;
+  w1r1.check_graph = true;
+
+  return {w2r2, w2r1, w1r1};
+}
+
+/// Per-cell atomicity verdicts in expansion order — the Table-1 payload.
+std::vector<bool> verdicts_of(const std::vector<exp::CellStats>& cells) {
+  std::vector<bool> v;
+  for (const exp::CellStats& c : cells) v.push_back(c.all_atomic());
+  return v;
 }
 
 int count_w1r2_certificates(int S) {
@@ -85,17 +122,38 @@ void report() {
   using bench::row;
   const std::vector<int> w{10, 46, 52};
 
+  // The acceptance bar for the runner refactor: the parallel sweep and a
+  // single-threaded replay of the same specs reach identical verdicts.
+  const std::vector<exp::ExperimentSpec> specs = table1_specs();
+  exp::Runner::Options serial_opts;
+  serial_opts.threads = 1;
+  const std::vector<exp::CellStats> cells =
+      exp::aggregate(exp::Runner().run_all(specs));
+  const std::vector<exp::CellStats> serial_cells =
+      exp::aggregate(exp::Runner(serial_opts).run_all(specs));
+  const bool parity = verdicts_of(cells) == verdicts_of(serial_cells);
+
+  // Slice the aggregate rows back into per-spec groups.
+  std::vector<std::vector<exp::CellStats>> by_spec(specs.size());
+  for (const exp::CellStats& c : cells) {
+    for (std::size_t si = 0; si < specs.size(); ++si) {
+      if (c.spec_name == specs[si].name) by_spec[si].push_back(c);
+    }
+  }
+  const std::vector<exp::CellStats>& w2r2_cells = by_spec[0];
+  const std::vector<exp::CellStats>& w2r1_cells = by_spec[1];
+  const std::vector<exp::CellStats>& w1r1_cells = by_spec[2];
+
   header("Table 1: design space, impossibility vs implementation");
   row({"cell", "impossibility evidence", "implementation evidence"}, w);
 
   // ---- W2R2 ----
   {
     std::string impl = "atomic runs at ";
-    for (const auto& [s, t] : std::vector<std::pair<int, int>>{{3, 1}, {5, 2}, {7, 3}}) {
-      const bool ok = run_protocol_atomic("mw-abd(W2R2)",
-                                          ClusterConfig{s, 3, 3, t}, 7);
-      impl += "S=" + std::to_string(s) + ",t=" + std::to_string(t) +
-              (ok ? "(ok) " : "(VIOLATION!) ");
+    for (const exp::CellStats& c : w2r2_cells) {
+      impl += "S=" + std::to_string(c.cfg.s()) + ",t=" +
+              std::to_string(c.cfg.t()) +
+              (c.all_atomic() ? "(ok) " : "(VIOLATION!) ");
     }
     row({"W2R2", "t >= S/2 loses liveness [LS97]", impl}, w);
   }
@@ -119,27 +177,27 @@ void report() {
 
   // ---- W2R1 ----
   {
-    int viol = 0, safe = 0, viol_total = 0, safe_total = 0;
+    int viol = 0, viol_total = 0;
     for (int S = 4; S <= 9; ++S) {
       for (int R = 2; R <= 5; ++R) {
-        const chains::FastReadAdversaryResult r =
-            chains::run_fastread_adversary(S, 1, R);
-        if (r.bound_violated) {
-          ++viol_total;
-          viol += r.violation_found;
-        } else {
-          ++safe_total;
-          safe += !r.violation_found &&
-                  run_protocol_atomic("fast-read-mw(W2R1)",
-                                      ClusterConfig{S, 2, R, 1}, 11);
-        }
+        if (ClusterConfig{S, 2, R, 1}.supports_fast_read()) continue;
+        ++viol_total;
+        viol += chains::run_fastread_adversary(S, 1, R).violation_found;
       }
+    }
+    // A safe cell needs BOTH a clean protocol run and the Fig. 9 adversary
+    // failing to produce a violation below the bound (negative control).
+    int safe = 0;
+    for (const exp::CellStats& c : w2r1_cells) {
+      safe += c.all_atomic() &&
+              !chains::run_fastread_adversary(c.cfg.s(), c.cfg.t(), c.cfg.r())
+                   .violation_found;
     }
     row({"W2R1",
          "R >= S/t-2: violation in " + std::to_string(viol) + "/" +
              std::to_string(viol_total) + " grid cells",
          "R < S/t-2: atomic in " + std::to_string(safe) + "/" +
-             std::to_string(safe_total) + " grid cells (Alg. 1 & 2)"},
+             std::to_string(w2r1_cells.size()) + " grid cells (Alg. 1 & 2)"},
         w);
   }
 
@@ -147,8 +205,7 @@ void report() {
   {
     int certs = 0;
     for (int S : {3, 5}) certs += count_w1r1_certificates(S);
-    const bool swmr_ok =
-        run_protocol_atomic("fast-swmr(W1R1)", ClusterConfig{5, 1, 2, 1}, 5);
+    const bool swmr_ok = w1r1_cells.at(0).all_atomic();
     row({"W1R1",
          "certificates " + std::to_string(certs) + "/72 rules x S in {3,5}",
          std::string("W=1, R<S/t-2: atomic (") + (swmr_ok ? "ok" : "VIOLATION!") +
@@ -156,7 +213,9 @@ void report() {
              (chains::prove_w1r1_universal(5).unsat ? "yes" : "NO?")},
         w);
   }
-  std::printf("\nExpected shape: both fast-write cells are impossible for W>=2;\n"
+  std::printf("\nParallel runner == single-threaded verdicts: %s\n",
+              parity ? "yes" : "NO! (runner nondeterminism)");
+  std::printf("Expected shape: both fast-write cells are impossible for W>=2;\n"
               "fast read is feasible exactly below R = S/t - 2.\n");
 }
 
@@ -170,9 +229,17 @@ void BM_W1R2Certificate(benchmark::State& state) {
 BENCHMARK(BM_W1R2Certificate)->Arg(3)->Arg(5)->Arg(8);
 
 void BM_W2R2WorkloadOp(benchmark::State& state) {
+  exp::ExperimentSpec spec;
+  spec.name = "bm";
+  spec.protocols = {"mw-abd(W2R2)"};
+  spec.clusters = {ClusterConfig{5, 3, 3, 2}};
+  spec.workload.ops_per_writer = 10;
+  spec.workload.ops_per_reader = 10;
+  spec.check_graph = true;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        run_protocol_atomic("mw-abd(W2R2)", ClusterConfig{5, 3, 3, 2}, 7));
+        exp::run_trial(spec, 0, 0, spec.protocols[0], spec.clusters[0], 7)
+            .atomic());
   }
   state.SetItemsProcessed(state.iterations() * 60);
 }

@@ -58,4 +58,13 @@ bool Rng::next_bool(double p_true) { return next_double() < p_true; }
 
 Rng Rng::fork() { return Rng(next()); }
 
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) {
+  // Two SplitMix64 steps keyed by base, with the stream index injected
+  // between them; adjacent (base, stream) pairs land far apart.
+  SplitMix64 sm(base);
+  std::uint64_t z = sm.next() ^ (stream * 0xD1B54A32D192ED03ULL);
+  SplitMix64 sm2(z);
+  return sm2.next();
+}
+
 }  // namespace mwreg

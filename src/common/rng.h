@@ -64,4 +64,10 @@ class Rng {
   std::uint64_t s_[4];
 };
 
+/// Deterministically derive an independent sub-seed from a base seed and a
+/// stream index. Used wherever many harnesses must be seeded from one user
+/// seed (experiment trials, sharded workloads) so that trial k's randomness
+/// depends only on (base, k) — never on scheduling or sibling trials.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream);
+
 }  // namespace mwreg

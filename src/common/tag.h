@@ -5,8 +5,8 @@
 // The initial register value carries the bottom tag (0, kNoNode).
 #pragma once
 
-#include <compare>
 #include <cstdint>
+#include <tuple>
 #include <functional>
 #include <string>
 
@@ -18,7 +18,16 @@ struct Tag {
   std::int64_t ts = 0;
   NodeId wid = kNoNode;
 
-  friend auto operator<=>(const Tag&, const Tag&) = default;
+  friend bool operator==(const Tag& a, const Tag& b) {
+    return a.ts == b.ts && a.wid == b.wid;
+  }
+  friend bool operator!=(const Tag& a, const Tag& b) { return !(a == b); }
+  friend bool operator<(const Tag& a, const Tag& b) {
+    return std::tie(a.ts, a.wid) < std::tie(b.ts, b.wid);
+  }
+  friend bool operator>(const Tag& a, const Tag& b) { return b < a; }
+  friend bool operator<=(const Tag& a, const Tag& b) { return !(b < a); }
+  friend bool operator>=(const Tag& a, const Tag& b) { return !(a < b); }
 
   [[nodiscard]] bool is_bottom() const { return ts == 0 && wid == kNoNode; }
 
@@ -38,7 +47,24 @@ struct TaggedValue {
   Tag tag;
   std::int64_t payload = 0;
 
-  friend auto operator<=>(const TaggedValue&, const TaggedValue&) = default;
+  friend bool operator==(const TaggedValue& a, const TaggedValue& b) {
+    return a.tag == b.tag && a.payload == b.payload;
+  }
+  friend bool operator!=(const TaggedValue& a, const TaggedValue& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const TaggedValue& a, const TaggedValue& b) {
+    return std::tie(a.tag, a.payload) < std::tie(b.tag, b.payload);
+  }
+  friend bool operator>(const TaggedValue& a, const TaggedValue& b) {
+    return b < a;
+  }
+  friend bool operator<=(const TaggedValue& a, const TaggedValue& b) {
+    return !(b < a);
+  }
+  friend bool operator>=(const TaggedValue& a, const TaggedValue& b) {
+    return !(a < b);
+  }
 
   [[nodiscard]] std::string to_string() const {
     return tag.to_string() + "=" + std::to_string(payload);

@@ -67,13 +67,18 @@ void run_random_workload(SimHarness& h, const WorkloadOptions& opts) {
   h.run();
 }
 
-LatencyStats latency_of(const History& h, OpKind kind) {
+std::vector<double> latency_samples_ms(const History& h, OpKind kind) {
   std::vector<double> lat;
   for (const OpRecord& r : h.ops()) {
     if (r.kind != kind || !r.completed()) continue;
     lat.push_back(static_cast<double>(r.resp - r.invoke) /
                   static_cast<double>(kMillisecond));
   }
+  return lat;
+}
+
+LatencyStats latency_of(const History& h, OpKind kind) {
+  std::vector<double> lat = latency_samples_ms(h, kind);
   LatencyStats s;
   s.count = lat.size();
   if (lat.empty()) return s;

@@ -33,6 +33,10 @@ struct LatencyStats {
   double max_ms = 0;
 };
 
+/// Latencies (ms, virtual time) of every completed op of `kind`, in
+/// history order.
+std::vector<double> latency_samples_ms(const History& h, OpKind kind);
+
 LatencyStats latency_of(const History& h, OpKind kind);
 
 std::string to_string(const LatencyStats& s);

@@ -1,0 +1,183 @@
+#include "exp/aggregator.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "common/log.h"
+
+namespace mwreg::exp {
+namespace {
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4f", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  return out + "\"";
+}
+
+}  // namespace
+
+LatencyStats summarize_latency(std::vector<double> samples_ms) {
+  LatencyStats s;
+  s.count = samples_ms.size();
+  if (samples_ms.empty()) return s;
+  std::sort(samples_ms.begin(), samples_ms.end());
+  double sum = 0;
+  for (double v : samples_ms) sum += v;
+  s.mean_ms = sum / static_cast<double>(samples_ms.size());
+  s.p50_ms = percentile(samples_ms, 0.50);
+  s.p99_ms = percentile(samples_ms, 0.99);
+  s.max_ms = samples_ms.back();
+  return s;
+}
+
+std::vector<CellStats> aggregate(const std::vector<TrialResult>& results) {
+  std::vector<CellStats> cells;
+  // Results arrive in expansion order, so a cell's trials are contiguous
+  // and cell_index is nondecreasing — a linear pass groups them.
+  int current_cell = -1;
+  std::vector<double> write_pool, read_pool;
+  std::uint64_t msgs = 0;
+  std::size_t ops = 0, events = 0;
+
+  auto flush = [&]() {
+    if (cells.empty()) return;
+    CellStats& cell = cells.back();
+    cell.write = summarize_latency(std::move(write_pool));
+    cell.read = summarize_latency(std::move(read_pool));
+    cell.msgs_per_op =
+        ops > 0 ? static_cast<double>(msgs) / static_cast<double>(ops) : 0;
+    cell.events_per_trial =
+        cell.trials > 0
+            ? static_cast<double>(events) / static_cast<double>(cell.trials)
+            : 0;
+    write_pool.clear();
+    read_pool.clear();
+    msgs = 0;
+    ops = 0;
+    events = 0;
+  };
+
+  for (const TrialResult& tr : results) {
+    if (tr.cell_index != current_cell) {
+      flush();
+      current_cell = tr.cell_index;
+      CellStats cell;
+      cell.spec_name = tr.spec_name;
+      cell.protocol = tr.protocol;
+      cell.cfg = tr.cfg;
+      cell.expected_atomic = tr.expected_atomic;
+      cells.push_back(std::move(cell));
+    }
+    CellStats& cell = cells.back();
+    ++cell.trials;
+    if (tr.atomic()) {
+      ++cell.atomic_trials;
+    } else if (cell.first_violation.empty()) {
+      cell.first_violation = tr.violation;
+    }
+    write_pool.insert(write_pool.end(), tr.write_ms.begin(), tr.write_ms.end());
+    read_pool.insert(read_pool.end(), tr.read_ms.begin(), tr.read_ms.end());
+    msgs += tr.msgs_sent;
+    ops += tr.completed_ops;
+    events += tr.sim_events;
+  }
+  flush();
+  return cells;
+}
+
+std::string to_csv(const std::vector<CellStats>& cells) {
+  std::string out =
+      "spec,protocol,S,W,R,t,trials,atomic_trials,expected_atomic,"
+      "write_count,write_mean_ms,write_p50_ms,write_p99_ms,write_max_ms,"
+      "read_count,read_mean_ms,read_p50_ms,read_p99_ms,read_max_ms,"
+      "msgs_per_op,events_per_trial,first_violation\n";
+  for (const CellStats& c : cells) {
+    out += csv_escape(c.spec_name) + "," + csv_escape(c.protocol) + "," +
+           std::to_string(c.cfg.s()) + "," + std::to_string(c.cfg.w()) + "," +
+           std::to_string(c.cfg.r()) + "," + std::to_string(c.cfg.t()) + "," +
+           std::to_string(c.trials) + "," + std::to_string(c.atomic_trials) +
+           "," + (c.expected_atomic ? "1" : "0") + "," +
+           std::to_string(c.write.count) + "," + fmt(c.write.mean_ms) + "," +
+           fmt(c.write.p50_ms) + "," + fmt(c.write.p99_ms) + "," +
+           fmt(c.write.max_ms) + "," + std::to_string(c.read.count) + "," +
+           fmt(c.read.mean_ms) + "," + fmt(c.read.p50_ms) + "," +
+           fmt(c.read.p99_ms) + "," + fmt(c.read.max_ms) + "," +
+           fmt(c.msgs_per_op) + "," + fmt(c.events_per_trial) + "," +
+           csv_escape(c.first_violation) + "\n";
+  }
+  return out;
+}
+
+std::string to_json(const std::vector<CellStats>& cells) {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellStats& c = cells[i];
+    auto lat = [](const LatencyStats& s) {
+      return std::string("{\"count\":") + std::to_string(s.count) +
+             ",\"mean_ms\":" + fmt(s.mean_ms) + ",\"p50_ms\":" +
+             fmt(s.p50_ms) + ",\"p99_ms\":" + fmt(s.p99_ms) + ",\"max_ms\":" +
+             fmt(s.max_ms) + "}";
+    };
+    out += "  {\"spec\":\"" + json_escape(c.spec_name) + "\",\"protocol\":\"" +
+           json_escape(c.protocol) + "\",\"cluster\":{\"S\":" +
+           std::to_string(c.cfg.s()) + ",\"W\":" + std::to_string(c.cfg.w()) +
+           ",\"R\":" + std::to_string(c.cfg.r()) + ",\"t\":" +
+           std::to_string(c.cfg.t()) + "},\"trials\":" +
+           std::to_string(c.trials) + ",\"atomic_trials\":" +
+           std::to_string(c.atomic_trials) + ",\"expected_atomic\":" +
+           (c.expected_atomic ? "true" : "false") + ",\"write\":" +
+           lat(c.write) + ",\"read\":" + lat(c.read) + ",\"msgs_per_op\":" +
+           fmt(c.msgs_per_op) + ",\"events_per_trial\":" +
+           fmt(c.events_per_trial) + ",\"first_violation\":\"" +
+           json_escape(c.first_violation) + "\"}";
+    out += (i + 1 < cells.size()) ? ",\n" : "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+bool write_report(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::binary);
+  f << content;
+  if (!f.good()) {
+    MWREG_ERROR << "failed to write report: " << path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mwreg::exp

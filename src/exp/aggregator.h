@@ -1,0 +1,58 @@
+// Aggregator: folds per-trial results into per-cell rows and renders
+// CSV / JSON reports.
+//
+// A cell is one (spec, protocol, cluster) point of the sweep; its row pools
+// the raw latency samples of every seed in the cell, so percentiles are
+// exact over the pooled distribution (not averages of per-trial
+// percentiles). Rows keep the Runner's deterministic expansion order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/workload.h"
+#include "exp/runner.h"
+
+namespace mwreg::exp {
+
+/// One aggregated (spec, protocol, cluster) row.
+struct CellStats {
+  std::string spec_name;
+  std::string protocol;
+  ClusterConfig cfg;
+
+  int trials = 0;
+  int atomic_trials = 0;        ///< trials every enabled checker passed
+  bool expected_atomic = false; ///< Protocol::guarantees_atomicity(cfg)
+  std::string first_violation;  ///< from the first non-atomic trial, if any
+
+  LatencyStats write;  ///< pooled across all trials in the cell
+  LatencyStats read;
+  double msgs_per_op = 0;
+  double events_per_trial = 0;
+
+  /// A protocol that guarantees atomicity for this cluster must pass every
+  /// trial; one that makes no guarantee cannot be contradicted.
+  [[nodiscard]] bool matches_expectation() const {
+    return !expected_atomic || atomic_trials == trials;
+  }
+  [[nodiscard]] bool all_atomic() const { return atomic_trials == trials; }
+};
+
+/// Group trial results into cells (expansion order preserved).
+std::vector<CellStats> aggregate(const std::vector<TrialResult>& results);
+
+/// Exact latency summary over raw samples (helper shared with tests).
+LatencyStats summarize_latency(std::vector<double> samples_ms);
+
+/// CSV with a header row; one line per cell.
+std::string to_csv(const std::vector<CellStats>& cells);
+
+/// JSON array of cell objects (self-contained, no external deps).
+std::string to_json(const std::vector<CellStats>& cells);
+
+/// Write `content` to `path`; returns false (and logs) on I/O failure.
+bool write_report(const std::string& path, const std::string& content);
+
+}  // namespace mwreg::exp

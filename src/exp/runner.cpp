@@ -1,0 +1,204 @@
+#include "exp/runner.h"
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "consistency/checkers.h"
+#include "core/harness.h"
+#include "protocols/protocols.h"
+
+namespace mwreg::exp {
+
+// ---- spec.h pieces that need protocol/delay definitions ----
+
+DelayFactory constant_delay(Duration delay) {
+  return [delay](const ClusterConfig&) {
+    return std::make_unique<ConstantDelay>(delay);
+  };
+}
+
+DelayFactory uniform_delay(Duration lo, Duration hi) {
+  return [lo, hi](const ClusterConfig&) {
+    return std::make_unique<UniformDelay>(lo, hi);
+  };
+}
+
+DelayFactory lognormal_delay(Duration median, double sigma) {
+  return [median, sigma](const ClusterConfig&) {
+    return std::make_unique<LogNormalDelay>(median, sigma);
+  };
+}
+
+std::string ExperimentSpec::validate() const {
+  if (protocols.empty()) return "spec has no protocols";
+  if (clusters.empty()) return "spec has no clusters";
+  if (seeds <= 0) return "spec needs seeds >= 1";
+  for (const std::string& p : protocols) {
+    if (protocol_by_name(p) == nullptr) return "unknown protocol: " + p;
+  }
+  for (const ClusterConfig& c : clusters) {
+    if (!c.valid()) return "invalid cluster: " + c.to_string();
+  }
+  return "";
+}
+
+// ---- trial execution ----
+
+std::uint64_t cell_digest(const std::string& protocol,
+                          const ClusterConfig& cfg) {
+  // FNV-1a over the protocol name and cluster shape: a cell's RNG stream
+  // depends only on what the cell IS, never on where it sits in a batch.
+  std::uint64_t h = 14695981039346656037ULL;
+  auto mix = [&h](std::uint64_t v) { h = (h ^ v) * 1099511628211ULL; };
+  for (char c : protocol) mix(static_cast<unsigned char>(c));
+  mix(static_cast<std::uint64_t>(cfg.s()));
+  mix(static_cast<std::uint64_t>(cfg.w()));
+  mix(static_cast<std::uint64_t>(cfg.r()));
+  mix(static_cast<std::uint64_t>(cfg.t()));
+  return h;
+}
+
+TrialResult run_trial(const ExperimentSpec& spec, int spec_index,
+                      int cell_index, const std::string& protocol,
+                      const ClusterConfig& cfg, std::uint64_t user_seed) {
+  const Protocol* proto = protocol_by_name(protocol);
+  if (proto == nullptr) {
+    throw std::invalid_argument("unknown protocol: " + protocol);
+  }
+  TrialResult tr;
+  tr.spec_index = spec_index;
+  tr.cell_index = cell_index;
+  tr.spec_name = spec.name;
+  tr.protocol = protocol;
+  tr.cfg = cfg;
+  tr.user_seed = user_seed;
+  tr.harness_seed = derive_seed(user_seed, cell_digest(protocol, cfg));
+  tr.expected_atomic = proto->guarantees_atomicity(cfg);
+
+  SimHarness::Options o;
+  o.cfg = cfg;
+  o.seed = tr.harness_seed;
+  o.fifo = spec.fifo;
+  if (spec.delay) o.delay = spec.delay(cfg);
+  SimHarness h(*proto, std::move(o));
+  run_random_workload(h, spec.workload);
+
+  const CheckResult tag = check_tag_witness(h.history());
+  tr.tag_atomic = tag.atomic;
+  if (!tag.atomic) tr.violation = tag.violation;
+  if (spec.check_graph) {
+    const CheckResult graph = check_unique_value_graph(h.history());
+    tr.graph_atomic = graph.atomic;
+    if (!graph.atomic && tr.violation.empty()) tr.violation = graph.violation;
+  }
+
+  tr.write_ms = latency_samples_ms(h.history(), OpKind::kWrite);
+  tr.read_ms = latency_samples_ms(h.history(), OpKind::kRead);
+  tr.completed_ops = h.history().completed_count();
+  tr.msgs_sent = h.net().stats().sent;
+  tr.sim_events = h.sim().executed();
+  return tr;
+}
+
+// ---- thread-pool fan-out ----
+
+namespace {
+
+/// A trial slot in the deterministic expansion order.
+struct PendingTrial {
+  const ExperimentSpec* spec;
+  int spec_index;
+  int cell_index;
+  const std::string* protocol;
+  const ClusterConfig* cfg;
+  std::uint64_t user_seed;
+};
+
+std::vector<PendingTrial> expand(const std::vector<ExperimentSpec>& specs) {
+  std::vector<PendingTrial> out;
+  int cell = 0;
+  for (std::size_t si = 0; si < specs.size(); ++si) {
+    const ExperimentSpec& spec = specs[si];
+    for (const std::string& p : spec.protocols) {
+      for (const ClusterConfig& c : spec.clusters) {
+        for (int k = 0; k < spec.seeds; ++k) {
+          out.push_back(PendingTrial{&spec, static_cast<int>(si), cell, &p, &c,
+                                     spec.seed_lo + static_cast<unsigned>(k)});
+        }
+        ++cell;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Runner::Runner(Options opts) : opts_(opts) {
+  if (opts_.threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    opts_.threads = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+}
+
+std::vector<TrialResult> Runner::run(const ExperimentSpec& spec) const {
+  return run_all({spec});
+}
+
+std::vector<TrialResult> Runner::run_all(
+    const std::vector<ExperimentSpec>& specs) const {
+  for (const ExperimentSpec& spec : specs) {
+    const std::string err = spec.validate();
+    if (!err.empty()) {
+      throw std::invalid_argument("ExperimentSpec '" + spec.name + "': " + err);
+    }
+  }
+  const std::vector<PendingTrial> pending = expand(specs);
+  std::vector<TrialResult> results(pending.size());
+
+  // Work stealing off a shared counter: each worker claims the next
+  // unclaimed trial and writes into its fixed slot, so the result vector's
+  // order (and therefore every aggregate) is independent of scheduling.
+  // A throwing trial (e.g. a DelayFactory that fails) stops the pool and
+  // rethrows on the calling thread, same as the serial path.
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto worker = [&]() {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= pending.size()) return;
+      const PendingTrial& t = pending[i];
+      try {
+        results[i] = run_trial(*t.spec, t.spec_index, t.cell_index,
+                               *t.protocol, *t.cfg, t.user_seed);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  const int threads =
+      std::min<std::size_t>(static_cast<std::size_t>(opts_.threads),
+                            pending.size() > 0 ? pending.size() : 1);
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
+    for (std::thread& th : pool) th.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace mwreg::exp

@@ -1,0 +1,86 @@
+// Runner: expands ExperimentSpecs into trials and executes them on a
+// std::thread pool.
+//
+// Determinism contract: a trial's result depends only on (spec, user seed,
+// protocol, cluster) — never on the thread that ran it, the completion
+// order of sibling trials, or where the cell sits in a run_all() batch.
+// Results come back indexed by the trial's position in the deterministic
+// expansion order (spec-major, then protocol, cluster, seed), so the same
+// spec list produces byte-identical aggregates at any thread count, and a
+// single cell re-run alone reproduces its batch numbers.
+// tests/exp_runner_test.cpp enforces this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/spec.h"
+
+namespace mwreg::exp {
+
+/// Outcome of one (protocol, cluster, seed) simulation.
+struct TrialResult {
+  int spec_index = 0;   ///< which spec in the run() batch
+  int cell_index = 0;   ///< global cell ordinal across the batch
+  std::string spec_name;
+  std::string protocol;
+  ClusterConfig cfg;
+  std::uint64_t user_seed = 0;     ///< seed_lo + k, as reported to humans
+  std::uint64_t harness_seed = 0;  ///< derive_seed(user_seed, cell_digest)
+
+  bool expected_atomic = false;  ///< Protocol::guarantees_atomicity(cfg)
+  bool tag_atomic = false;       ///< check_tag_witness verdict
+  bool graph_atomic = true;      ///< check_unique_value_graph (if enabled)
+  std::string violation;         ///< first checker violation, if any
+
+  /// Raw per-operation latencies (ms, virtual time), kept so the
+  /// Aggregator can pool exact percentiles across trials.
+  std::vector<double> write_ms;
+  std::vector<double> read_ms;
+
+  std::size_t completed_ops = 0;
+  std::uint64_t msgs_sent = 0;
+  std::size_t sim_events = 0;
+
+  /// Atomic as far as the enabled checkers can tell.
+  [[nodiscard]] bool atomic() const { return tag_atomic && graph_atomic; }
+};
+
+class Runner {
+ public:
+  struct Options {
+    /// Worker threads; 0 means std::thread::hardware_concurrency()
+    /// (at least 1). 1 runs everything inline on the calling thread.
+    int threads = 0;
+  };
+
+  Runner() : Runner(Options{}) {}
+  explicit Runner(Options opts);
+
+  /// Run every trial of `spec`. Throws std::invalid_argument when
+  /// spec.validate() fails. Results are in expansion order.
+  [[nodiscard]] std::vector<TrialResult> run(const ExperimentSpec& spec) const;
+
+  /// Run a batch of specs as one trial pool (better load balancing than
+  /// sequential run() calls when specs are skewed).
+  [[nodiscard]] std::vector<TrialResult> run_all(
+      const std::vector<ExperimentSpec>& specs) const;
+
+ private:
+  Options opts_;
+};
+
+/// Execute a single trial inline (no threads). The Runner is implemented on
+/// top of this; exposed for tests and for callers that need one history.
+TrialResult run_trial(const ExperimentSpec& spec, int spec_index,
+                      int cell_index, const std::string& protocol,
+                      const ClusterConfig& cfg, std::uint64_t user_seed);
+
+/// Stable identity of a cell, used as the derive_seed stream: depends only
+/// on the protocol name and cluster shape, so re-running one cell alone
+/// reproduces its numbers from any batch.
+std::uint64_t cell_digest(const std::string& protocol,
+                          const ClusterConfig& cfg);
+
+}  // namespace mwreg::exp

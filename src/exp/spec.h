@@ -1,0 +1,79 @@
+// ExperimentSpec: a declarative description of a protocol sweep.
+//
+// A spec is the cross product
+//   protocols x clusters x seeds(count, starting at seed_lo)
+// run under one delay model and one workload shape. The Runner (runner.h)
+// expands it into independent trials and fans them out across a thread
+// pool; the Aggregator (aggregator.h) folds per-trial results back into
+// per-cell rows. Benches and examples should construct specs instead of
+// hand-rolling SimHarness loops: a new experiment is then one spec literal.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cluster.h"
+#include "core/workload.h"
+#include "sim/delay_model.h"
+
+namespace mwreg::exp {
+
+/// Builds a fresh DelayModel for one trial. Called once per trial (delay
+/// models are stateless but not shareable across concurrent harnesses).
+/// A null factory means the SimHarness default (uniform 1..10ms).
+using DelayFactory =
+    std::function<std::unique_ptr<DelayModel>(const ClusterConfig&)>;
+
+/// Convenience factories for the common models.
+DelayFactory constant_delay(Duration delay);
+DelayFactory uniform_delay(Duration lo, Duration hi);
+DelayFactory lognormal_delay(Duration median, double sigma);
+
+struct ExperimentSpec {
+  /// Label carried into reports; not interpreted.
+  std::string name;
+
+  /// Protocol names resolved via protocol_by_name(). Unknown names are a
+  /// spec validation error (Runner::run asserts via validate()).
+  std::vector<std::string> protocols;
+
+  /// Cluster grid. Cells where cfg.valid() is false are rejected by
+  /// validate(); cells where the protocol is not expected to be atomic are
+  /// still run (that is often the point — see Table 1).
+  std::vector<ClusterConfig> clusters;
+
+  /// Seed range: trials use user seeds seed_lo, seed_lo+1, ...,
+  /// seed_lo+seeds-1. The harness seed for a trial is
+  /// derive_seed(user_seed, cell_digest(protocol, cluster)) so distinct
+  /// cells never share RNG streams even at equal user seeds, yet a cell's
+  /// results do not depend on its position in the spec or batch.
+  std::uint64_t seed_lo = 1;
+  int seeds = 1;
+
+  /// One delay model shape for every trial (null = harness default).
+  DelayFactory delay;
+
+  /// Closed-loop workload driven against every trial harness.
+  WorkloadOptions workload;
+
+  /// FIFO per-link delivery (SimHarness::Options::fifo).
+  bool fifo = false;
+
+  /// Also run the O(n^2) exact unique-value-graph checker per trial (the
+  /// O(n log n) tag-witness checker always runs).
+  bool check_graph = false;
+
+  [[nodiscard]] int cells() const {
+    return static_cast<int>(protocols.size() * clusters.size());
+  }
+  [[nodiscard]] int trials() const { return cells() * seeds; }
+
+  /// Empty string when well-formed, else a human-readable reason
+  /// (unknown protocol, invalid cluster, non-positive seed count, ...).
+  [[nodiscard]] std::string validate() const;
+};
+
+}  // namespace mwreg::exp

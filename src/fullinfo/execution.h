@@ -76,14 +76,24 @@ struct Execution {
 /// reader received, sorted by server id.
 struct RoundView {
   std::vector<std::pair<int, ServerLog>> replies;
-  friend bool operator==(const RoundView&, const RoundView&) = default;
+  friend bool operator==(const RoundView& a, const RoundView& b) {
+    return a.replies == b.replies;
+  }
+  friend bool operator!=(const RoundView& a, const RoundView& b) {
+    return !(a == b);
+  }
 };
 
 /// Everything a two-round reader knows when it must decide.
 struct ReadView {
   RoundView first;
   RoundView second;
-  friend bool operator==(const ReadView&, const ReadView&) = default;
+  friend bool operator==(const ReadView& a, const ReadView& b) {
+    return a.first == b.first && a.second == b.second;
+  }
+  friend bool operator!=(const ReadView& a, const ReadView& b) {
+    return !(a == b);
+  }
 
   [[nodiscard]] std::string to_string() const;
   [[nodiscard]] std::uint64_t digest() const;
