@@ -12,7 +12,12 @@ SimHarness::SimHarness(const Protocol& proto, Options opts)
   if (!delay) {
     delay = std::make_unique<UniformDelay>(1 * kMillisecond, 10 * kMillisecond);
   }
-  net_ = std::make_unique<Network>(sim_, std::move(delay), rng_.fork(), opts.fifo);
+  // Every harness delay is wrapped in a SpikeDelay so fault plans can
+  // inject delay spikes; at factor 1.0 the wrapper is transparent.
+  auto spike = std::make_unique<SpikeDelay>(std::move(delay));
+  spike_ = spike.get();
+  net_ = std::make_unique<Network>(sim_, std::move(spike), rng_.fork(),
+                                   opts.fifo);
   for (NodeId s : cfg_.server_ids()) {
     servers_.push_back(proto.make_server(s, *net_, cfg_));
   }
@@ -45,6 +50,11 @@ OpId SimHarness::async_read(int ri, std::function<void(TaggedValue)> done) {
         if (done) done(v);
       });
   return op;
+}
+
+void SimHarness::install_fault_plan(const FaultPlan& plan) {
+  // Repeated installs share one log, so composed plans account together.
+  fault_log_ = mwreg::install_fault_plan(*net_, cfg_, plan, spike_, fault_log_);
 }
 
 std::vector<NodeId> SimHarness::crash_random_servers(int count) {

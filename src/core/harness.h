@@ -1,5 +1,6 @@
 // SimHarness: wires a cluster (Fig. 1) for one protocol on the simulator,
-// instruments operations into a History, and exposes fault injection.
+// instruments operations into a History, and exposes fault injection —
+// one-shot (crash_random_servers) or declarative (install_fault_plan).
 #pragma once
 
 #include <cstdint>
@@ -12,6 +13,7 @@
 #include "consistency/history.h"
 #include "core/protocol.h"
 #include "sim/delay_model.h"
+#include "sim/fault_plan.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
@@ -46,6 +48,16 @@ class SimHarness {
   /// Crash `count` distinct servers chosen with the harness Rng.
   std::vector<NodeId> crash_random_servers(int count);
 
+  /// Schedule every step of `plan` as simulator events (resolved against
+  /// this harness's cluster). The log is observable via fault_log() during
+  /// and after run(). Call before run(); repeated installs compose.
+  void install_fault_plan(const FaultPlan& plan);
+
+  /// Log of the most recently installed plan (null when none installed).
+  [[nodiscard]] const FaultPlanLog* fault_log() const {
+    return fault_log_.get();
+  }
+
   /// Run the simulator to quiescence and return events executed.
   std::size_t run() { return sim_.run(); }
 
@@ -54,6 +66,8 @@ class SimHarness {
   Rng rng_;
   Simulator sim_;
   std::unique_ptr<Network> net_;
+  SpikeDelay* spike_ = nullptr;  ///< owned by net_'s delay chain
+  std::shared_ptr<FaultPlanLog> fault_log_;
   std::vector<std::unique_ptr<Process>> servers_;
   std::vector<std::unique_ptr<WriterApi>> writers_;
   std::vector<std::unique_ptr<ReaderApi>> readers_;

@@ -77,19 +77,59 @@ std::vector<double> latency_samples_ms(const History& h, OpKind kind) {
   return lat;
 }
 
-LatencyStats latency_of(const History& h, OpKind kind) {
-  std::vector<double> lat = latency_samples_ms(h, kind);
+namespace {
+
+/// Interpolated percentile over a sorted sample vector (same convention as
+/// numpy's default): exact for the pooled distribution, no nearest-rank
+/// bias at small counts.
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+LatencyStats summarize_latency(std::vector<double> samples_ms) {
   LatencyStats s;
-  s.count = lat.size();
-  if (lat.empty()) return s;
-  std::sort(lat.begin(), lat.end());
+  s.count = samples_ms.size();
+  if (samples_ms.empty()) return s;
+  std::sort(samples_ms.begin(), samples_ms.end());
   double sum = 0;
-  for (double v : lat) sum += v;
-  s.mean_ms = sum / static_cast<double>(lat.size());
-  s.p50_ms = lat[lat.size() / 2];
-  s.p99_ms = lat[std::min(lat.size() - 1, lat.size() * 99 / 100)];
-  s.max_ms = lat.back();
+  for (double v : samples_ms) sum += v;
+  s.mean_ms = sum / static_cast<double>(samples_ms.size());
+  s.p50_ms = percentile(samples_ms, 0.50);
+  s.p99_ms = percentile(samples_ms, 0.99);
+  s.max_ms = samples_ms.back();
   return s;
+}
+
+LatencyStats latency_of(const History& h, OpKind kind) {
+  return summarize_latency(latency_samples_ms(h, kind));
+}
+
+FaultMetrics compute_fault_metrics(const History& h, const FaultPlanLog& log) {
+  FaultMetrics m;
+  m.faults_injected = log.faults_injected;
+  if (!log.disrupted()) return m;
+  const Time start = log.disruption_start;
+  const Time end = log.healed() ? log.heal_time : kTimeMax;
+  Time first_after = kTimeMax;
+  for (const OpRecord& r : h.ops()) {
+    if (!r.completed()) continue;
+    if (r.resp >= start && r.resp <= end) ++m.ops_under_fault;
+    if (log.healed() && r.resp > end) {
+      first_after = std::min(first_after, r.resp);
+    }
+  }
+  if (first_after != kTimeMax) {
+    m.recovery_ms = static_cast<double>(first_after - log.heal_time) /
+                    static_cast<double>(kMillisecond);
+  }
+  return m;
 }
 
 std::string to_string(const LatencyStats& s) {

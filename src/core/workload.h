@@ -37,8 +37,28 @@ struct LatencyStats {
 /// history order.
 std::vector<double> latency_samples_ms(const History& h, OpKind kind);
 
+/// THE latency summary over raw samples: mean, interpolated p50/p99 over
+/// the sorted distribution, max. The single implementation behind both
+/// latency_of and the experiment Aggregator (exp::summarize_latency
+/// forwards here), so bench output and aggregator reports agree on the
+/// same samples.
+LatencyStats summarize_latency(std::vector<double> samples_ms);
+
 LatencyStats latency_of(const History& h, OpKind kind);
 
 std::string to_string(const LatencyStats& s);
+
+/// Availability accounting of one trial against an executed fault plan.
+struct FaultMetrics {
+  int faults_injected = 0;
+  /// Ops that completed inside the disruption window
+  /// [disruption_start, heal_time] (open-ended when never healed).
+  std::size_t ops_under_fault = 0;
+  /// Time from the heal to the first completion after it, in ms;
+  /// -1 when the plan never healed or nothing completed afterwards.
+  double recovery_ms = -1;
+};
+
+FaultMetrics compute_fault_metrics(const History& h, const FaultPlanLog& log);
 
 }  // namespace mwreg

@@ -10,15 +10,6 @@
 namespace mwreg::exp {
 namespace {
 
-double percentile(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0;
-  const double idx = p * static_cast<double>(sorted.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(idx);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = idx - static_cast<double>(lo);
-  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
-}
-
 std::string fmt(double v) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.4f", v);
@@ -27,12 +18,24 @@ std::string fmt(double v) {
 
 std::string json_escape(const std::string& s) {
   std::string out;
-  for (char c : s) {
+  for (unsigned char c : s) {
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
       case '\n': out += "\\n"; break;
-      default: out += c;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        // Any other control byte must be \u-escaped or the JSON is invalid.
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
     }
   }
   return out;
@@ -51,17 +54,7 @@ std::string csv_escape(const std::string& s) {
 }  // namespace
 
 LatencyStats summarize_latency(std::vector<double> samples_ms) {
-  LatencyStats s;
-  s.count = samples_ms.size();
-  if (samples_ms.empty()) return s;
-  std::sort(samples_ms.begin(), samples_ms.end());
-  double sum = 0;
-  for (double v : samples_ms) sum += v;
-  s.mean_ms = sum / static_cast<double>(samples_ms.size());
-  s.p50_ms = percentile(samples_ms, 0.50);
-  s.p99_ms = percentile(samples_ms, 0.99);
-  s.max_ms = samples_ms.back();
-  return s;
+  return mwreg::summarize_latency(std::move(samples_ms));
 }
 
 std::vector<CellStats> aggregate(const std::vector<TrialResult>& results) {
@@ -72,6 +65,10 @@ std::vector<CellStats> aggregate(const std::vector<TrialResult>& results) {
   std::vector<double> write_pool, read_pool;
   std::uint64_t msgs = 0;
   std::size_t ops = 0, events = 0;
+  std::int64_t faults = 0;
+  std::size_t fault_ops = 0;
+  double recovery_sum = 0;
+  int recovered_trials = 0;
 
   auto flush = [&]() {
     if (cells.empty()) return;
@@ -84,11 +81,23 @@ std::vector<CellStats> aggregate(const std::vector<TrialResult>& results) {
         cell.trials > 0
             ? static_cast<double>(events) / static_cast<double>(cell.trials)
             : 0;
+    if (cell.trials > 0) {
+      cell.faults_injected =
+          static_cast<double>(faults) / static_cast<double>(cell.trials);
+      cell.ops_under_fault =
+          static_cast<double>(fault_ops) / static_cast<double>(cell.trials);
+    }
+    cell.recovery_ms =
+        recovered_trials > 0 ? recovery_sum / recovered_trials : -1;
     write_pool.clear();
     read_pool.clear();
     msgs = 0;
     ops = 0;
     events = 0;
+    faults = 0;
+    fault_ops = 0;
+    recovery_sum = 0;
+    recovered_trials = 0;
   };
 
   for (const TrialResult& tr : results) {
@@ -99,6 +108,7 @@ std::vector<CellStats> aggregate(const std::vector<TrialResult>& results) {
       cell.spec_name = tr.spec_name;
       cell.protocol = tr.protocol;
       cell.cfg = tr.cfg;
+      cell.fault_plan = tr.fault_plan;
       cell.expected_atomic = tr.expected_atomic;
       cells.push_back(std::move(cell));
     }
@@ -114,6 +124,12 @@ std::vector<CellStats> aggregate(const std::vector<TrialResult>& results) {
     msgs += tr.msgs_sent;
     ops += tr.completed_ops;
     events += tr.sim_events;
+    faults += tr.faults_injected;
+    fault_ops += tr.ops_under_fault;
+    if (tr.recovery_ms >= 0) {
+      recovery_sum += tr.recovery_ms;
+      ++recovered_trials;
+    }
   }
   flush();
   return cells;
@@ -121,14 +137,16 @@ std::vector<CellStats> aggregate(const std::vector<TrialResult>& results) {
 
 std::string to_csv(const std::vector<CellStats>& cells) {
   std::string out =
-      "spec,protocol,S,W,R,t,trials,atomic_trials,expected_atomic,"
+      "spec,protocol,S,W,R,t,fault_plan,trials,atomic_trials,expected_atomic,"
       "write_count,write_mean_ms,write_p50_ms,write_p99_ms,write_max_ms,"
       "read_count,read_mean_ms,read_p50_ms,read_p99_ms,read_max_ms,"
-      "msgs_per_op,events_per_trial,first_violation\n";
+      "msgs_per_op,events_per_trial,"
+      "faults_injected,ops_under_fault,recovery_ms,first_violation\n";
   for (const CellStats& c : cells) {
     out += csv_escape(c.spec_name) + "," + csv_escape(c.protocol) + "," +
            std::to_string(c.cfg.s()) + "," + std::to_string(c.cfg.w()) + "," +
            std::to_string(c.cfg.r()) + "," + std::to_string(c.cfg.t()) + "," +
+           csv_escape(c.fault_plan) + "," +
            std::to_string(c.trials) + "," + std::to_string(c.atomic_trials) +
            "," + (c.expected_atomic ? "1" : "0") + "," +
            std::to_string(c.write.count) + "," + fmt(c.write.mean_ms) + "," +
@@ -137,6 +155,8 @@ std::string to_csv(const std::vector<CellStats>& cells) {
            fmt(c.read.mean_ms) + "," + fmt(c.read.p50_ms) + "," +
            fmt(c.read.p99_ms) + "," + fmt(c.read.max_ms) + "," +
            fmt(c.msgs_per_op) + "," + fmt(c.events_per_trial) + "," +
+           fmt(c.faults_injected) + "," + fmt(c.ops_under_fault) + "," +
+           fmt(c.recovery_ms) + "," +
            csv_escape(c.first_violation) + "\n";
   }
   return out;
@@ -156,13 +176,17 @@ std::string to_json(const std::vector<CellStats>& cells) {
            json_escape(c.protocol) + "\",\"cluster\":{\"S\":" +
            std::to_string(c.cfg.s()) + ",\"W\":" + std::to_string(c.cfg.w()) +
            ",\"R\":" + std::to_string(c.cfg.r()) + ",\"t\":" +
-           std::to_string(c.cfg.t()) + "},\"trials\":" +
+           std::to_string(c.cfg.t()) + "},\"fault_plan\":\"" +
+           json_escape(c.fault_plan) + "\",\"trials\":" +
            std::to_string(c.trials) + ",\"atomic_trials\":" +
            std::to_string(c.atomic_trials) + ",\"expected_atomic\":" +
            (c.expected_atomic ? "true" : "false") + ",\"write\":" +
            lat(c.write) + ",\"read\":" + lat(c.read) + ",\"msgs_per_op\":" +
            fmt(c.msgs_per_op) + ",\"events_per_trial\":" +
-           fmt(c.events_per_trial) + ",\"first_violation\":\"" +
+           fmt(c.events_per_trial) + ",\"faults_injected\":" +
+           fmt(c.faults_injected) + ",\"ops_under_fault\":" +
+           fmt(c.ops_under_fault) + ",\"recovery_ms\":" + fmt(c.recovery_ms) +
+           ",\"first_violation\":\"" +
            json_escape(c.first_violation) + "\"}";
     out += (i + 1 < cells.size()) ? ",\n" : "\n";
   }

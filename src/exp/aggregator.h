@@ -16,11 +16,12 @@
 
 namespace mwreg::exp {
 
-/// One aggregated (spec, protocol, cluster) row.
+/// One aggregated (spec, protocol, cluster, fault plan) row.
 struct CellStats {
   std::string spec_name;
   std::string protocol;
   ClusterConfig cfg;
+  std::string fault_plan;  ///< plan name; "" = fault-free cell
 
   int trials = 0;
   int atomic_trials = 0;        ///< trials every enabled checker passed
@@ -31,6 +32,14 @@ struct CellStats {
   LatencyStats read;
   double msgs_per_op = 0;
   double events_per_trial = 0;
+
+  /// Availability under the cell's fault plan (all zero / -1 when
+  /// fault-free): mean executed fault steps per trial, mean ops completed
+  /// inside the disruption window, and mean time from heal to the first
+  /// completion after it (-1 when no trial healed).
+  double faults_injected = 0;
+  double ops_under_fault = 0;
+  double recovery_ms = -1;
 
   /// A protocol that guarantees atomicity for this cluster must pass every
   /// trial; one that makes no guarantee cannot be contradicted.
@@ -43,7 +52,10 @@ struct CellStats {
 /// Group trial results into cells (expansion order preserved).
 std::vector<CellStats> aggregate(const std::vector<TrialResult>& results);
 
-/// Exact latency summary over raw samples (helper shared with tests).
+/// Exact latency summary over raw samples. Forwards to
+/// mwreg::summarize_latency (core/workload.h) — the single percentile
+/// implementation shared by latency_of and the aggregator, so bench output
+/// and reports agree on the same samples.
 LatencyStats summarize_latency(std::vector<double> samples_ms);
 
 /// CSV with a header row; one line per cell.

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <mutex>
+#include <set>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -42,6 +43,15 @@ std::string ExperimentSpec::validate() const {
   for (const ClusterConfig& c : clusters) {
     if (!c.valid()) return "invalid cluster: " + c.to_string();
   }
+  std::set<std::string> plan_names;
+  for (const FaultPlan& plan : fault_plans) {
+    if (plan.name.empty()) return "fault plan needs a name";
+    const std::string err = plan.validate();
+    if (!err.empty()) return err;
+    if (!plan_names.insert(plan.name).second) {
+      return "duplicate fault plan name: " + plan.name;
+    }
+  }
   return "";
 }
 
@@ -61,9 +71,19 @@ std::uint64_t cell_digest(const std::string& protocol,
   return h;
 }
 
+std::uint64_t cell_digest(const std::string& protocol,
+                          const ClusterConfig& cfg, const FaultPlan& plan) {
+  std::uint64_t h = cell_digest(protocol, cfg);
+  // The fault-free cell keeps its historical digest so pre-fault-axis
+  // sweeps reproduce bit-identically.
+  if (plan.empty()) return h;
+  return (h ^ plan.digest()) * 1099511628211ULL;
+}
+
 TrialResult run_trial(const ExperimentSpec& spec, int spec_index,
                       int cell_index, const std::string& protocol,
-                      const ClusterConfig& cfg, std::uint64_t user_seed) {
+                      const ClusterConfig& cfg, std::uint64_t user_seed,
+                      const FaultPlan* plan) {
   const Protocol* proto = protocol_by_name(protocol);
   if (proto == nullptr) {
     throw std::invalid_argument("unknown protocol: " + protocol);
@@ -74,8 +94,11 @@ TrialResult run_trial(const ExperimentSpec& spec, int spec_index,
   tr.spec_name = spec.name;
   tr.protocol = protocol;
   tr.cfg = cfg;
+  if (plan != nullptr) tr.fault_plan = plan->name;
   tr.user_seed = user_seed;
-  tr.harness_seed = derive_seed(user_seed, cell_digest(protocol, cfg));
+  tr.harness_seed = derive_seed(
+      user_seed, plan != nullptr ? cell_digest(protocol, cfg, *plan)
+                                 : cell_digest(protocol, cfg));
   tr.expected_atomic = proto->guarantees_atomicity(cfg);
 
   SimHarness::Options o;
@@ -84,6 +107,7 @@ TrialResult run_trial(const ExperimentSpec& spec, int spec_index,
   o.fifo = spec.fifo;
   if (spec.delay) o.delay = spec.delay(cfg);
   SimHarness h(*proto, std::move(o));
+  if (plan != nullptr) h.install_fault_plan(*plan);
   run_random_workload(h, spec.workload);
 
   const CheckResult tag = check_tag_witness(h.history());
@@ -100,6 +124,12 @@ TrialResult run_trial(const ExperimentSpec& spec, int spec_index,
   tr.completed_ops = h.history().completed_count();
   tr.msgs_sent = h.net().stats().sent;
   tr.sim_events = h.sim().executed();
+  if (h.fault_log() != nullptr) {
+    const FaultMetrics fm = compute_fault_metrics(h.history(), *h.fault_log());
+    tr.faults_injected = fm.faults_injected;
+    tr.ops_under_fault = fm.ops_under_fault;
+    tr.recovery_ms = fm.recovery_ms;
+  }
   return tr;
 }
 
@@ -114,6 +144,7 @@ struct PendingTrial {
   int cell_index;
   const std::string* protocol;
   const ClusterConfig* cfg;
+  const FaultPlan* plan;  ///< null = fault-free
   std::uint64_t user_seed;
 };
 
@@ -124,11 +155,18 @@ std::vector<PendingTrial> expand(const std::vector<ExperimentSpec>& specs) {
     const ExperimentSpec& spec = specs[si];
     for (const std::string& p : spec.protocols) {
       for (const ClusterConfig& c : spec.clusters) {
-        for (int k = 0; k < spec.seeds; ++k) {
-          out.push_back(PendingTrial{&spec, static_cast<int>(si), cell, &p, &c,
-                                     spec.seed_lo + static_cast<unsigned>(k)});
+        for (int pi = 0; pi < spec.plans(); ++pi) {
+          const FaultPlan* plan =
+              spec.fault_plans.empty()
+                  ? nullptr
+                  : &spec.fault_plans[static_cast<std::size_t>(pi)];
+          for (int k = 0; k < spec.seeds; ++k) {
+            out.push_back(
+                PendingTrial{&spec, static_cast<int>(si), cell, &p, &c, plan,
+                             spec.seed_lo + static_cast<unsigned>(k)});
+          }
+          ++cell;
         }
-        ++cell;
       }
     }
   }
@@ -176,7 +214,7 @@ std::vector<TrialResult> Runner::run_all(
       const PendingTrial& t = pending[i];
       try {
         results[i] = run_trial(*t.spec, t.spec_index, t.cell_index,
-                               *t.protocol, *t.cfg, t.user_seed);
+                               *t.protocol, *t.cfg, t.user_seed, t.plan);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mu);
         if (!first_error) first_error = std::current_exception();

@@ -19,13 +19,14 @@
 
 namespace mwreg::exp {
 
-/// Outcome of one (protocol, cluster, seed) simulation.
+/// Outcome of one (protocol, cluster, fault plan, seed) simulation.
 struct TrialResult {
   int spec_index = 0;   ///< which spec in the run() batch
   int cell_index = 0;   ///< global cell ordinal across the batch
   std::string spec_name;
   std::string protocol;
   ClusterConfig cfg;
+  std::string fault_plan;          ///< plan name; "" = fault-free
   std::uint64_t user_seed = 0;     ///< seed_lo + k, as reported to humans
   std::uint64_t harness_seed = 0;  ///< derive_seed(user_seed, cell_digest)
 
@@ -42,6 +43,12 @@ struct TrialResult {
   std::size_t completed_ops = 0;
   std::uint64_t msgs_sent = 0;
   std::size_t sim_events = 0;
+
+  /// Availability under the trial's fault plan (zeros / -1 when fault-free;
+  /// see FaultMetrics in core/workload.h).
+  int faults_injected = 0;
+  std::size_t ops_under_fault = 0;
+  double recovery_ms = -1;
 
   /// Atomic as far as the enabled checkers can tell.
   [[nodiscard]] bool atomic() const { return tag_atomic && graph_atomic; }
@@ -73,14 +80,19 @@ class Runner {
 
 /// Execute a single trial inline (no threads). The Runner is implemented on
 /// top of this; exposed for tests and for callers that need one history.
+/// `plan` selects the trial's fault plan (null = fault-free).
 TrialResult run_trial(const ExperimentSpec& spec, int spec_index,
                       int cell_index, const std::string& protocol,
-                      const ClusterConfig& cfg, std::uint64_t user_seed);
+                      const ClusterConfig& cfg, std::uint64_t user_seed,
+                      const FaultPlan* plan = nullptr);
 
 /// Stable identity of a cell, used as the derive_seed stream: depends only
-/// on the protocol name and cluster shape, so re-running one cell alone
-/// reproduces its numbers from any batch.
+/// on the protocol name, cluster shape, and fault plan, so re-running one
+/// cell alone reproduces its numbers from any batch. The two-argument form
+/// is the fault-free cell (identical to its pre-fault-axis value).
 std::uint64_t cell_digest(const std::string& protocol,
                           const ClusterConfig& cfg);
+std::uint64_t cell_digest(const std::string& protocol,
+                          const ClusterConfig& cfg, const FaultPlan& plan);
 
 }  // namespace mwreg::exp

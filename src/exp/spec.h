@@ -1,7 +1,7 @@
 // ExperimentSpec: a declarative description of a protocol sweep.
 //
 // A spec is the cross product
-//   protocols x clusters x seeds(count, starting at seed_lo)
+//   protocols x clusters x fault_plans x seeds(count, starting at seed_lo)
 // run under one delay model and one workload shape. The Runner (runner.h)
 // expands it into independent trials and fans them out across a thread
 // pool; the Aggregator (aggregator.h) folds per-trial results back into
@@ -18,6 +18,7 @@
 #include "common/cluster.h"
 #include "core/workload.h"
 #include "sim/delay_model.h"
+#include "sim/fault_plan.h"
 
 namespace mwreg::exp {
 
@@ -45,11 +46,17 @@ struct ExperimentSpec {
   /// still run (that is often the point — see Table 1).
   std::vector<ClusterConfig> clusters;
 
+  /// Fault scenario axis: every plan is crossed with every
+  /// (protocol, cluster) pair. Empty means one fault-free run per pair.
+  /// Plans must have distinct non-empty names (they key reports and RNG
+  /// streams); see scenarios::all() for the canned library.
+  std::vector<FaultPlan> fault_plans;
+
   /// Seed range: trials use user seeds seed_lo, seed_lo+1, ...,
   /// seed_lo+seeds-1. The harness seed for a trial is
-  /// derive_seed(user_seed, cell_digest(protocol, cluster)) so distinct
-  /// cells never share RNG streams even at equal user seeds, yet a cell's
-  /// results do not depend on its position in the spec or batch.
+  /// derive_seed(user_seed, cell_digest(protocol, cluster, plan)) so
+  /// distinct cells never share RNG streams even at equal user seeds, yet a
+  /// cell's results do not depend on its position in the spec or batch.
   std::uint64_t seed_lo = 1;
   int seeds = 1;
 
@@ -66,8 +73,12 @@ struct ExperimentSpec {
   /// O(n log n) tag-witness checker always runs).
   bool check_graph = false;
 
+  /// One fault-free plan when fault_plans is empty.
+  [[nodiscard]] int plans() const {
+    return fault_plans.empty() ? 1 : static_cast<int>(fault_plans.size());
+  }
   [[nodiscard]] int cells() const {
-    return static_cast<int>(protocols.size() * clusters.size());
+    return static_cast<int>(protocols.size() * clusters.size()) * plans();
   }
   [[nodiscard]] int trials() const { return cells() * seeds; }
 

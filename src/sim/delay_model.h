@@ -57,6 +57,30 @@ class LogNormalDelay final : public DelayModel {
   double sigma_;
 };
 
+/// Wraps any model and scales its samples by an adjustable factor. Fault
+/// plans use this for delay spikes: a scheduled step flips the factor at a
+/// virtual time, no time-awareness needed inside the model. With the factor
+/// at 1.0 the wrapper is transparent — samples and RNG consumption are
+/// identical to the inner model's, so fault-free runs are unaffected.
+class SpikeDelay final : public DelayModel {
+ public:
+  explicit SpikeDelay(std::unique_ptr<DelayModel> inner)
+      : inner_(std::move(inner)) {}
+
+  void set_factor(double f) { factor_ = f; }
+  [[nodiscard]] double factor() const { return factor_; }
+
+  Duration sample(NodeId src, NodeId dst, Rng& rng) override {
+    const Duration base = inner_->sample(src, dst, rng);
+    if (factor_ == 1.0) return base;
+    return static_cast<Duration>(static_cast<double>(base) * factor_);
+  }
+
+ private:
+  std::unique_ptr<DelayModel> inner_;
+  double factor_ = 1.0;
+};
+
 /// Geo-replication: each node is pinned to a site; delay is half the
 /// inter-site RTT plus uniform jitter. Models the WAN deployments that
 /// motivate fast implementations (Cassandra-style, Section 1).

@@ -1,0 +1,324 @@
+#include "sim/fault_plan.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <utility>
+
+namespace mwreg {
+
+// ---- FaultPlan value semantics ----
+
+std::string FaultPlan::validate() const {
+  if (name.empty() && !steps.empty()) return "fault plan needs a name";
+  for (const FaultStep& st : steps) {
+    if (st.at < 0) return "fault plan '" + name + "': step time < 0";
+    if (st.index < 0) return "fault plan '" + name + "': server index < 0";
+    if (st.kind == FaultStep::Kind::kPartition &&
+        st.scope == FaultStep::Scope::kExplicit && st.count < 1) {
+      return "fault plan '" + name + "': explicit partition needs count >= 1";
+    }
+    if (st.kind == FaultStep::Kind::kDelaySpike && !(st.factor > 0)) {
+      return "fault plan '" + name + "': delay factor must be > 0";
+    }
+  }
+  return "";
+}
+
+std::uint64_t FaultPlan::digest() const {
+  std::uint64_t h = 14695981039346656037ULL;
+  auto mix = [&h](std::uint64_t v) { h = (h ^ v) * 1099511628211ULL; };
+  for (char c : name) mix(static_cast<unsigned char>(c));
+  for (const FaultStep& st : steps) {
+    mix(static_cast<std::uint64_t>(st.at));
+    mix(static_cast<std::uint64_t>(st.kind));
+    mix(static_cast<std::uint64_t>(st.index));
+    mix(static_cast<std::uint64_t>(st.count));
+    mix(static_cast<std::uint64_t>(st.scope));
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof st.factor, "factor must be 64-bit");
+    std::memcpy(&bits, &st.factor, sizeof bits);
+    mix(bits);
+  }
+  return h;
+}
+
+FaultPlan& FaultPlan::crash(int server_index, Time at) {
+  FaultStep st;
+  st.at = at;
+  st.kind = FaultStep::Kind::kCrashServer;
+  st.index = server_index;
+  steps.push_back(st);
+  return *this;
+}
+
+FaultPlan& FaultPlan::recover(int server_index, Time at) {
+  FaultStep st;
+  st.at = at;
+  st.kind = FaultStep::Kind::kRecoverServer;
+  st.index = server_index;
+  steps.push_back(st);
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(FaultStep::Scope scope, Time at, int index,
+                                int count) {
+  FaultStep st;
+  st.at = at;
+  st.kind = FaultStep::Kind::kPartition;
+  st.scope = scope;
+  st.index = index;
+  st.count = count;
+  steps.push_back(st);
+  return *this;
+}
+
+FaultPlan& FaultPlan::heal(Time at) {
+  FaultStep st;
+  st.at = at;
+  st.kind = FaultStep::Kind::kHeal;
+  steps.push_back(st);
+  return *this;
+}
+
+FaultPlan& FaultPlan::skip_schedule(Time at) {
+  FaultStep st;
+  st.at = at;
+  st.kind = FaultStep::Kind::kSkipSchedule;
+  steps.push_back(st);
+  return *this;
+}
+
+FaultPlan& FaultPlan::delay_spike(double factor, Time at) {
+  FaultStep st;
+  st.at = at;
+  st.kind = FaultStep::Kind::kDelaySpike;
+  st.factor = factor;
+  steps.push_back(st);
+  return *this;
+}
+
+// ---- installation: steps become simulator events ----
+
+namespace {
+
+/// Shared by every scheduled step of one installed plan. Tracks the directed
+/// links the plan blocked so kHeal releases exactly those.
+struct PlanState {
+  Network* net = nullptr;
+  ClusterConfig cfg;
+  SpikeDelay* spike = nullptr;
+  std::vector<std::pair<NodeId, NodeId>> blocked;
+  std::shared_ptr<FaultPlanLog> log;
+
+  void block_tracked(NodeId a, NodeId b) {
+    for (const auto& pair :
+         {std::make_pair(a, b), std::make_pair(b, a)}) {
+      blocked.push_back(pair);  // this plan owns one reference
+      if (++log->block_refs[pair] == 1) {
+        net->block_link(pair.first, pair.second);
+      }
+    }
+  }
+
+  void heal_all() {
+    for (const auto& pair : blocked) {
+      const auto it = log->block_refs.find(pair);
+      if (it != log->block_refs.end() && --it->second == 0) {
+        log->block_refs.erase(it);
+        net->unblock_link(pair.first, pair.second);
+      }
+    }
+    blocked.clear();
+  }
+};
+
+int partition_width(const FaultStep& st, const ClusterConfig& cfg) {
+  int n = 0;
+  switch (st.scope) {
+    case FaultStep::Scope::kExplicit:
+      n = st.count;
+      break;
+    case FaultStep::Scope::kFaultBudget:
+      n = cfg.t();  // exactly the budget; 0 on a t=0 cluster (no-op)
+      break;
+    case FaultStep::Scope::kMajority:
+      n = cfg.s() / 2 + 1;
+      break;
+  }
+  return std::max(0, std::min(n, cfg.s()));
+}
+
+/// How a step affects the disruption window: steps that turn out to do
+/// nothing (empty partition, skip on a t=0 cluster, spike with no spike
+/// model) must neither count as faults nor move the window.
+enum class StepEffect { kDisruptive, kRestorative, kNoop };
+
+void apply_step(PlanState& ps, const FaultStep& st) {
+  const ClusterConfig& cfg = ps.cfg;
+  const int S = cfg.s();
+  FaultPlanLog& log = *ps.log;
+  StepEffect effect = StepEffect::kNoop;
+  switch (st.kind) {
+    case FaultStep::Kind::kCrashServer: {
+      const NodeId id = cfg.server_id(st.index % S);
+      ps.net->crash(id);
+      log.active_crashes.insert(id);
+      effect = StepEffect::kDisruptive;
+      break;
+    }
+    case FaultStep::Kind::kRecoverServer: {
+      const NodeId id = cfg.server_id(st.index % S);
+      ps.net->recover(id);
+      log.active_crashes.erase(id);
+      effect = StepEffect::kRestorative;
+      break;
+    }
+    case FaultStep::Kind::kPartition: {
+      const int n = partition_width(st, cfg);
+      const std::size_t blocked_before = ps.blocked.size();
+      std::set<NodeId> inside;
+      for (int i = 0; i < n; ++i) {
+        inside.insert(cfg.server_id((st.index + i) % S));
+      }
+      for (NodeId s : inside) {
+        for (NodeId m = 0; m < cfg.total_nodes(); ++m) {
+          if (inside.count(m) == 0) ps.block_tracked(s, m);
+        }
+      }
+      if (ps.blocked.size() > blocked_before) {
+        effect = StepEffect::kDisruptive;
+      }
+      break;
+    }
+    case FaultStep::Kind::kHeal:
+      if (!ps.blocked.empty()) effect = StepEffect::kRestorative;
+      ps.heal_all();
+      break;
+    case FaultStep::Kind::kSkipSchedule: {
+      // Writer 0 loses servers [0, t); reader ri loses the next disjoint
+      // t-set, wrapping mod S — the shape of the Fig. 9 skip argument.
+      // A t=0 cluster has no budget to skip, so the step is a no-op.
+      const int t = cfg.t();
+      const std::size_t blocked_before = ps.blocked.size();
+      if (cfg.w() > 0) {
+        for (int j = 0; j < t; ++j) {
+          ps.block_tracked(cfg.writer_id(0), cfg.server_id(j % S));
+        }
+      }
+      for (int ri = 0; ri < cfg.r(); ++ri) {
+        for (int j = 0; j < t; ++j) {
+          ps.block_tracked(cfg.reader_id(ri),
+                           cfg.server_id((t * (ri + 1) + j) % S));
+        }
+      }
+      if (ps.blocked.size() > blocked_before) {
+        effect = StepEffect::kDisruptive;
+      }
+      break;
+    }
+    case FaultStep::Kind::kDelaySpike:
+      if (ps.spike != nullptr) {
+        ps.spike->set_factor(st.factor);
+        log.active_spike = st.factor != 1.0;
+        effect = st.factor != 1.0 ? StepEffect::kDisruptive
+                                  : StepEffect::kRestorative;
+      }
+      break;
+  }
+  const Time now = ps.net->sim().now();
+  if (effect == StepEffect::kDisruptive) {
+    ++log.faults_injected;
+    log.disruption_start = std::min(log.disruption_start, now);
+    log.heal_time = kTimeMax;  // a new disruption reopens the window
+  } else if (effect == StepEffect::kRestorative &&
+             !log.disruption_active()) {
+    // Only a step that lifts the LAST active disruption closes the window
+    // (events run in time order, so a later full heal overwrites this).
+    log.heal_time = now;
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<FaultPlanLog> install_fault_plan(
+    Network& net, const ClusterConfig& cfg, const FaultPlan& plan,
+    SpikeDelay* spike, std::shared_ptr<FaultPlanLog> log) {
+  if (!log) log = std::make_shared<FaultPlanLog>();
+  if (plan.steps.empty()) return log;
+  auto ps = std::make_shared<PlanState>();
+  ps->net = &net;
+  ps->cfg = cfg;
+  ps->spike = spike;
+  ps->log = log;
+  for (const FaultStep& st : plan.steps) {
+    net.sim().schedule_at(st.at, [ps, st]() { apply_step(*ps, st); });
+  }
+  return log;
+}
+
+// ---- canned scenario library ----
+
+namespace scenarios {
+
+FaultPlan single_crash(Time at) {
+  FaultPlan p;
+  p.name = "single-crash";
+  p.crash(0, at);
+  return p;
+}
+
+FaultPlan crash_recover(Time at, Time recover_at) {
+  FaultPlan p;
+  p.name = "crash-recover";
+  p.crash(0, at).recover(0, recover_at);
+  return p;
+}
+
+FaultPlan rolling_crashes(int rounds, Time start, Duration gap) {
+  FaultPlan p;
+  p.name = "rolling-crashes";
+  for (int i = 0; i < rounds; ++i) {
+    const Time at = start + static_cast<Time>(i) * gap;
+    p.crash(i, at).recover(i, at + gap / 2);  // at most one server down
+  }
+  return p;
+}
+
+FaultPlan minority_partition(Time at, Time heal_at) {
+  FaultPlan p;
+  p.name = "minority-partition";
+  p.partition(FaultStep::Scope::kFaultBudget, at).heal(heal_at);
+  return p;
+}
+
+FaultPlan majority_partition(Time at, Time heal_at) {
+  FaultPlan p;
+  p.name = "majority-partition";
+  p.partition(FaultStep::Scope::kMajority, at).heal(heal_at);
+  return p;
+}
+
+FaultPlan fig9_skip(Time at, Time heal_at) {
+  FaultPlan p;
+  p.name = "fig9-skip";
+  p.skip_schedule(at).heal(heal_at);
+  return p;
+}
+
+FaultPlan delay_spike(double factor, Time at, Time settle_at) {
+  FaultPlan p;
+  p.name = "delay-spike";
+  p.delay_spike(factor, at).delay_spike(1.0, settle_at);
+  return p;
+}
+
+std::vector<FaultPlan> all() {
+  return {single_crash(),       crash_recover(), rolling_crashes(),
+          minority_partition(), majority_partition(),
+          fig9_skip(),          delay_spike()};
+}
+
+}  // namespace scenarios
+
+}  // namespace mwreg

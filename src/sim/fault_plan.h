@@ -1,0 +1,165 @@
+// Declarative fault schedules ("fault plans") executed as simulator events.
+//
+// The paper's impossibility arguments are driven by adversarial schedules:
+// crashed servers, "skipped" servers (links blocked for the rest of the
+// execution), and delay inflation. A FaultPlan captures such a schedule as
+// data — a list of timed steps — so the experiment runner can sweep
+// protocols across fault scenarios exactly like it sweeps clusters and
+// seeds. Plans are cluster-agnostic: symbolic scopes (fault budget,
+// majority) are resolved against the concrete ClusterConfig when the plan
+// is installed on a network, so one plan literal serves every cell of a
+// sweep.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/cluster.h"
+#include "common/types.h"
+#include "sim/delay_model.h"
+#include "sim/network.h"
+
+namespace mwreg {
+
+/// One timed action of a fault plan.
+struct FaultStep {
+  enum class Kind : std::uint8_t {
+    kCrashServer,   ///< crash server `index`
+    kRecoverServer, ///< recover server `index` (Network::recover)
+    kPartition,     ///< isolate a server set from every node outside it
+    kHeal,          ///< unblock every link this plan has blocked so far
+    kSkipSchedule,  ///< Fig. 9-style skip: each client loses disjoint t-sets
+    kDelaySpike,    ///< multiply message delays by `factor` from here on
+  };
+
+  /// How many servers a kPartition isolates; resolved per cluster.
+  enum class Scope : std::uint8_t {
+    kExplicit,    ///< `count` servers, starting at server index `index`
+    /// Exactly t servers — within budget, quorums stay reachable. On a
+    /// t = 0 cluster this isolates nothing (the step becomes a no-op).
+    kFaultBudget,
+    kMajority,    ///< floor(S/2)+1 servers — quorums unreachable until heal
+  };
+
+  Time at = 0;
+  Kind kind = Kind::kCrashServer;
+  int index = 0;    ///< server index (crash/recover, kExplicit partition base)
+  int count = 1;    ///< partition width when scope == kExplicit
+  Scope scope = Scope::kExplicit;
+  double factor = 1.0;  ///< kDelaySpike multiplier (1.0 restores normal delays)
+};
+
+/// A named, ordered fault schedule. Plans are plain values: copyable,
+/// comparable by digest(), and safe to share across the trials of a sweep.
+struct FaultPlan {
+  std::string name;
+  std::vector<FaultStep> steps;
+
+  [[nodiscard]] bool empty() const { return name.empty() && steps.empty(); }
+
+  /// Empty string when well-formed, else a human-readable reason.
+  [[nodiscard]] std::string validate() const;
+
+  /// FNV-1a over the name and every step field; mixed into
+  /// exp::cell_digest so distinct plans never share RNG streams.
+  [[nodiscard]] std::uint64_t digest() const;
+
+  // Fluent builders (return *this so plans read as schedules).
+  FaultPlan& crash(int server_index, Time at);
+  FaultPlan& recover(int server_index, Time at);
+  FaultPlan& partition(FaultStep::Scope scope, Time at, int index = 0,
+                       int count = 1);
+  FaultPlan& heal(Time at);
+  FaultPlan& skip_schedule(Time at);
+  FaultPlan& delay_spike(double factor, Time at);
+};
+
+/// What a plan actually did in one trial, for availability accounting.
+/// Updated live by the scheduled step events. heal_time is only set while
+/// NO injected disruption remains active (every crash recovered, every
+/// block lifted, delays back to normal); a later disruptive step reopens
+/// the window, so healed() never claims recovery from a persistent fault.
+/// One log may be shared by several installed plans (repeated
+/// SimHarness::install_fault_plan calls compose into one log).
+struct FaultPlanLog {
+  int faults_injected = 0;           ///< disruptive steps executed
+  Time disruption_start = kTimeMax;  ///< time of the first disruptive step
+  Time heal_time = kTimeMax;         ///< when the last disruption was lifted
+
+  [[nodiscard]] bool disrupted() const { return disruption_start != kTimeMax; }
+  [[nodiscard]] bool healed() const { return heal_time != kTimeMax; }
+
+  /// Live state the installer's events use to decide when the disruption
+  /// has fully cleared; spans every plan sharing this log. Blocked links
+  /// are refcounted per directed pair so that when composed plans declare
+  /// overlapping partitions, one plan's heal never lifts a block another
+  /// plan still holds.
+  std::set<NodeId> active_crashes;
+  std::map<std::pair<NodeId, NodeId>, int> block_refs;
+  bool active_spike = false;
+
+  [[nodiscard]] bool disruption_active() const {
+    return !active_crashes.empty() || !block_refs.empty() || active_spike;
+  }
+};
+
+/// Schedule every step of `plan` onto `net`'s simulator, resolving symbolic
+/// scopes against `cfg`. `spike` (may be null) receives kDelaySpike factors;
+/// a plan with spike steps but no spike model is a no-op for those steps.
+/// Steps that resolve to nothing (empty partition or skip on a t = 0
+/// cluster, spike without a model) are excluded from the log: they neither
+/// count as injected faults nor open the disruption window.
+/// Returns the log the scheduled events write into; `net` must outlive the
+/// simulation run. Pass a previous install's `log` to compose several
+/// plans into one shared accounting (null creates a fresh log).
+std::shared_ptr<FaultPlanLog> install_fault_plan(
+    Network& net, const ClusterConfig& cfg, const FaultPlan& plan,
+    SpikeDelay* spike = nullptr, std::shared_ptr<FaultPlanLog> log = nullptr);
+
+/// Canned scenario library used by benches, examples, and tests. Times are
+/// tuned for the default closed-loop workload (ops complete in ~10–30 ms of
+/// virtual time, runs last a few hundred ms).
+namespace scenarios {
+
+/// Crash one server permanently (within the failure budget when t >= 1).
+FaultPlan single_crash(Time at = 30 * kMillisecond);
+
+/// Crash one server, then recover it: crash -> recover availability dip.
+FaultPlan crash_recover(Time at = 30 * kMillisecond,
+                        Time recover_at = 90 * kMillisecond);
+
+/// Crash and recover servers one at a time, at most one down at once.
+FaultPlan rolling_crashes(int rounds = 3, Time start = 30 * kMillisecond,
+                          Duration gap = 30 * kMillisecond);
+
+/// Isolate t servers (a strict minority for t < S/2): quorums of S - t
+/// remain reachable, so safe protocols must stay atomic AND live.
+FaultPlan minority_partition(Time at = 30 * kMillisecond,
+                             Time heal_at = 90 * kMillisecond);
+
+/// Isolate floor(S/2)+1 servers: quorums are unreachable, operations stall
+/// until the heal, then complete (degraded availability, preserved safety).
+FaultPlan majority_partition(Time at = 30 * kMillisecond,
+                             Time heal_at = 90 * kMillisecond);
+
+/// The Fig. 9-style skip schedule: writer 0 and each reader lose links to
+/// disjoint t-sized server sets (asymmetric blocks, within budget per
+/// client), healed at `heal_at`.
+FaultPlan fig9_skip(Time at = 30 * kMillisecond,
+                    Time heal_at = 90 * kMillisecond);
+
+/// Inflate every message delay by `factor` inside a window.
+FaultPlan delay_spike(double factor = 5.0, Time at = 30 * kMillisecond,
+                      Time settle_at = 90 * kMillisecond);
+
+/// The whole library, distinct names, every plan valid.
+std::vector<FaultPlan> all();
+
+}  // namespace scenarios
+
+}  // namespace mwreg

@@ -18,7 +18,10 @@ void Network::attach(NodeId id, Process& p) {
 
 void Network::send(Message m) {
   ++stats_.sent;
-  if (crashed_.count(m.src) > 0) return;  // a crashed node sends nothing
+  if (crashed_.count(m.src) > 0) {  // a crashed node sends nothing
+    ++stats_.from_crashed;
+    return;
+  }
   deliver_later(std::move(m), sim_.now());
 }
 
@@ -43,7 +46,8 @@ void Network::deliver_later(Message m, Time sent) {
     at = std::max(at, row[s][t]);
     row[s][t] = at;
   }
-  sim_.schedule_at(at, [this, m = std::move(m), sent]() { deliver_now(m, sent); });
+  sim_.schedule_at(
+      at, [this, m = std::move(m), sent]() { deliver_now(m, sent); });
 }
 
 void Network::deliver_now(const Message& m, Time sent) {
@@ -69,7 +73,11 @@ void Network::deliver_now(const Message& m, Time sent) {
 
 void Network::crash(NodeId id) { crashed_.insert(id); }
 
-void Network::block_link(NodeId src, NodeId dst) { blocked_.insert({src, dst}); }
+void Network::recover(NodeId id) { crashed_.erase(id); }
+
+void Network::block_link(NodeId src, NodeId dst) {
+  blocked_.insert({src, dst});
+}
 
 void Network::block_pair(NodeId a, NodeId b) {
   block_link(a, b);

@@ -22,11 +22,18 @@ namespace mwreg {
 
 class Process;
 
+/// Message accounting. At quiescence (no scheduled deliveries in flight)
+/// the counters satisfy the invariant
+///   sent == delivered + held + to_crashed + from_crashed
+/// — every sent message is either delivered, parked on a blocked link, or
+/// dropped at exactly one of the two crash checks. tests/sim_test.cpp
+/// asserts this across fault scenarios.
 struct NetworkStats {
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
-  std::uint64_t held = 0;       ///< currently parked on blocked links
-  std::uint64_t to_crashed = 0; ///< dropped because dst crashed
+  std::uint64_t held = 0;         ///< currently parked on blocked links
+  std::uint64_t to_crashed = 0;   ///< dropped because dst crashed
+  std::uint64_t from_crashed = 0; ///< dropped because src had crashed
 };
 
 class Network {
@@ -50,6 +57,12 @@ class Network {
   void crash(NodeId id);
   [[nodiscard]] bool crashed(NodeId id) const { return crashed_.count(id) > 0; }
 
+  /// Undo a crash: the node accepts and sends messages again. Messages
+  /// dropped while it was crashed stay lost (they were counted in
+  /// to_crashed / from_crashed); its process state is untouched, modeling a
+  /// network-isolated node rejoining. Enables crash -> recover fault plans.
+  void recover(NodeId id);
+
   /// Block the directed link src -> dst: messages are parked, not lost.
   void block_link(NodeId src, NodeId dst);
   /// Block both directions between a client and a server ("skip").
@@ -62,7 +75,8 @@ class Network {
   }
 
   /// Optional observer invoked at delivery time (used by trace capture).
-  using DeliveryHook = std::function<void(const Message&, Time sent, Time delivered)>;
+  using DeliveryHook =
+      std::function<void(const Message&, Time sent, Time delivered)>;
   void set_delivery_hook(DeliveryHook hook) { hook_ = std::move(hook); }
 
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
@@ -89,7 +103,9 @@ class Network {
 /// A protocol participant: owns a node id and reacts to delivered messages.
 class Process {
  public:
-  Process(NodeId id, Network& net) : id_(id), net_(net) { net.attach(id, *this); }
+  Process(NodeId id, Network& net) : id_(id), net_(net) {
+    net.attach(id, *this);
+  }
   virtual ~Process() = default;
   Process(const Process&) = delete;
   Process& operator=(const Process&) = delete;

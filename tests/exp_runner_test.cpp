@@ -194,6 +194,108 @@ TEST(Aggregator, PoolsLatenciesExactly) {
   EXPECT_DOUBLE_EQ(cells[0].msgs_per_op, 6.0);
 }
 
+/// Minimal JSON string unescaper for the round-trip test below.
+std::string json_unescape(const std::string& s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u': {
+        const int code = std::stoi(s.substr(i + 1, 4), nullptr, 16);
+        out += static_cast<char>(code);
+        i += 4;
+        break;
+      }
+      default: out += s[i];  // \" and \\ and \/
+    }
+  }
+  return out;
+}
+
+TEST(Aggregator, JsonEscapesControlCharactersRoundTrip) {
+  TrialResult tr;
+  tr.cell_index = 0;
+  tr.protocol = "p";
+  tr.tag_atomic = false;
+  const std::string nasty = std::string("bad\r\tvalue\x01\x1f end\n\\ \"q\"\b");
+  tr.violation = nasty;
+  const std::string json = to_json(aggregate({tr}));
+
+  // A violation string must never leak raw control bytes into the JSON;
+  // the only raw control characters are the renderer's own newlines.
+  for (unsigned char c : json) {
+    if (c < 0x20) {
+      EXPECT_EQ(c, '\n') << "raw control byte " << int(c);
+    }
+  }
+  EXPECT_NE(json.find("\\r"), std::string::npos);
+  EXPECT_NE(json.find("\\t"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("\\u001f"), std::string::npos);
+
+  // Round trip: extract the first_violation value and unescape it.
+  const std::string key = "\"first_violation\":\"";
+  const std::size_t pos = json.find(key);
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t start = pos + key.size();
+  std::size_t end = start;
+  while (json[end] != '"' || json[end - 1] == '\\') ++end;
+  EXPECT_EQ(json_unescape(json.substr(start, end - start)), nasty);
+}
+
+TEST(Runner, FaultPlanAxisExpandsTheCrossProduct) {
+  ExperimentSpec spec = small_spec();
+  spec.fault_plans = {scenarios::single_crash(),
+                      scenarios::minority_partition()};
+  EXPECT_EQ(spec.validate(), "");
+  EXPECT_EQ(spec.cells(), 8);    // 2 protocols x 2 clusters x 2 plans
+  EXPECT_EQ(spec.trials(), 24);  // x 3 seeds
+
+  const std::vector<CellStats> cells = aggregate(Runner().run(spec));
+  ASSERT_EQ(cells.size(), 8u);
+  int crash_cells = 0, partition_cells = 0;
+  for (const CellStats& c : cells) {
+    crash_cells += c.fault_plan == "single-crash";
+    partition_cells += c.fault_plan == "minority-partition";
+    EXPECT_GT(c.faults_injected, 0.0) << c.fault_plan;
+  }
+  EXPECT_EQ(crash_cells, 4);
+  EXPECT_EQ(partition_cells, 4);
+
+  const std::string csv = to_csv(cells);
+  EXPECT_NE(csv.find("fault_plan"), std::string::npos);
+  EXPECT_NE(csv.find("single-crash"), std::string::npos);
+  EXPECT_NE(csv.find("minority-partition"), std::string::npos);
+}
+
+TEST(Runner, RejectsDuplicateAndUnnamedFaultPlans) {
+  ExperimentSpec spec = small_spec();
+  spec.fault_plans = {scenarios::single_crash(), scenarios::single_crash()};
+  EXPECT_NE(spec.validate(), "");
+  spec.fault_plans = {FaultPlan{}.crash(0, 10)};
+  EXPECT_NE(spec.validate(), "");
+}
+
+TEST(Runner, FaultFreeCellDigestIsPlanIndependent) {
+  // The two-argument digest and an empty plan agree, so pre-fault-axis
+  // sweeps reproduce bit-identically; real plans shift the stream.
+  const ClusterConfig cfg{5, 2, 2, 1};
+  EXPECT_EQ(cell_digest("p", cfg), cell_digest("p", cfg, FaultPlan{}));
+  EXPECT_NE(cell_digest("p", cfg),
+            cell_digest("p", cfg, scenarios::single_crash()));
+  EXPECT_NE(cell_digest("p", cfg, scenarios::single_crash()),
+            cell_digest("p", cfg, scenarios::minority_partition()));
+}
+
 TEST(Aggregator, CsvHasHeaderAndOneRowPerCell) {
   ExperimentSpec spec = small_spec();
   spec.seeds = 1;

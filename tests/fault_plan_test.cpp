@@ -1,0 +1,406 @@
+// Tests for the fault-plan scenario engine: the canned library, plan
+// execution on the harness, availability metrics, and thread-count-
+// invariant fault sweeps through the experiment runner.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "consistency/checkers.h"
+#include "core/harness.h"
+#include "core/workload.h"
+#include "exp/aggregator.h"
+#include "exp/runner.h"
+#include "protocols/protocols.h"
+#include "sim/fault_plan.h"
+
+namespace mwreg {
+namespace {
+
+constexpr const char* kAbd = "mw-abd(W2R2)";
+
+/// Run `protocol` on `cfg` under `plan` with the default closed-loop
+/// workload and return the harness for inspection.
+struct PlanRun {
+  SimHarness h;
+  PlanRun(const ClusterConfig& cfg, const FaultPlan& plan,
+          const char* protocol = kAbd, std::uint64_t seed = 7)
+      : h(*protocol_by_name(protocol),
+          [&] {
+            SimHarness::Options o;
+            o.cfg = cfg;
+            o.seed = seed;
+            return o;
+          }()) {
+    h.install_fault_plan(plan);
+    WorkloadOptions w;
+    w.ops_per_writer = 8;
+    w.ops_per_reader = 8;
+    run_random_workload(h, w);
+  }
+  [[nodiscard]] std::size_t total_ops() const {
+    return static_cast<std::size_t>(8 * (h.cfg().w() + h.cfg().r()));
+  }
+  [[nodiscard]] FaultMetrics metrics() {
+    return compute_fault_metrics(h.history(), *h.fault_log());
+  }
+};
+
+// ---------- plan values ----------
+
+TEST(FaultPlan, CannedLibraryIsValidAndDistinct) {
+  const std::vector<FaultPlan> lib = scenarios::all();
+  ASSERT_GE(lib.size(), 5u);
+  std::set<std::string> names;
+  std::set<std::uint64_t> digests;
+  for (const FaultPlan& p : lib) {
+    EXPECT_EQ(p.validate(), "") << p.name;
+    EXPECT_FALSE(p.steps.empty()) << p.name;
+    names.insert(p.name);
+    digests.insert(p.digest());
+  }
+  EXPECT_EQ(names.size(), lib.size());
+  EXPECT_EQ(digests.size(), lib.size());
+}
+
+TEST(FaultPlan, ValidateCatchesMalformedSteps) {
+  FaultPlan p;
+  p.name = "bad";
+  p.crash(0, -1);
+  EXPECT_NE(p.validate(), "");
+
+  FaultPlan q;
+  q.name = "bad-factor";
+  q.delay_spike(0.0, 10);
+  EXPECT_NE(q.validate(), "");
+
+  FaultPlan anonymous;
+  anonymous.crash(0, 10);
+  EXPECT_NE(anonymous.validate(), "");
+  EXPECT_EQ(FaultPlan{}.validate(), "");  // the trivial plan is fine
+}
+
+TEST(FaultPlan, DigestSeparatesPlans) {
+  EXPECT_EQ(scenarios::single_crash().digest(),
+            scenarios::single_crash().digest());
+  EXPECT_NE(scenarios::single_crash().digest(),
+            scenarios::single_crash(40 * kMillisecond).digest());
+  EXPECT_NE(scenarios::minority_partition().digest(),
+            scenarios::majority_partition().digest());
+}
+
+// ---------- execution on the harness ----------
+
+TEST(FaultPlanRun, SingleCrashWithinBudgetStaysAtomicAndLive) {
+  PlanRun run(ClusterConfig{5, 2, 2, 1}, scenarios::single_crash());
+  EXPECT_EQ(run.h.history().completed_count(), run.total_ops());
+  EXPECT_TRUE(check_tag_witness(run.h.history()).atomic);
+  ASSERT_NE(run.h.fault_log(), nullptr);
+  EXPECT_EQ(run.h.fault_log()->faults_injected, 1);
+  EXPECT_TRUE(run.h.fault_log()->disrupted());
+  EXPECT_FALSE(run.h.fault_log()->healed());
+  EXPECT_GT(run.metrics().ops_under_fault, 0u);  // still available
+}
+
+TEST(FaultPlanRun, MinorityPartitionKeepsAvailability) {
+  // Isolating t servers leaves quorums of S - t reachable: a safe protocol
+  // must stay atomic AND keep completing ops during the partition.
+  PlanRun run(ClusterConfig{5, 2, 2, 1}, scenarios::minority_partition());
+  EXPECT_EQ(run.h.history().completed_count(), run.total_ops());
+  EXPECT_TRUE(check_tag_witness(run.h.history()).atomic);
+  EXPECT_GT(run.metrics().ops_under_fault, 0u);
+}
+
+TEST(FaultPlanRun, MajorityPartitionStallsUntilHealThenRecovers) {
+  // Isolating floor(S/2)+1 > t servers makes quorums unreachable: no new
+  // operation can complete inside the window (at most in-flight stragglers
+  // whose final quorum ack comes from a still-reachable server), everything
+  // completes after the heal, and safety is never violated.
+  PlanRun run(ClusterConfig{5, 2, 2, 1}, scenarios::majority_partition());
+  const FaultMetrics m = run.metrics();
+  EXPECT_LE(m.ops_under_fault, 2u);  // degraded availability
+  EXPECT_GT(m.recovery_ms, 0.0);     // first completion after the heal
+  EXPECT_EQ(run.h.history().completed_count(), run.total_ops());
+  EXPECT_TRUE(check_tag_witness(run.h.history()).atomic);
+  EXPECT_TRUE(run.h.fault_log()->healed());
+
+  // Every op *invoked* during the partition stalls until after the heal.
+  const FaultPlanLog& log = *run.h.fault_log();
+  for (const OpRecord& r : run.h.history().ops()) {
+    if (r.invoke >= log.disruption_start && r.invoke <= log.heal_time) {
+      EXPECT_TRUE(!r.completed() || r.resp > log.heal_time);
+    }
+  }
+}
+
+TEST(FaultPlanRun, CrashRecoverRestoresTheFullCluster) {
+  PlanRun run(ClusterConfig{5, 2, 2, 1}, scenarios::crash_recover());
+  EXPECT_EQ(run.h.history().completed_count(), run.total_ops());
+  EXPECT_TRUE(check_tag_witness(run.h.history()).atomic);
+  EXPECT_TRUE(run.h.fault_log()->healed());
+  EXPECT_FALSE(run.h.net().crashed(0));  // recovered
+  EXPECT_GT(run.metrics().ops_under_fault, 0u);  // live while crashed
+}
+
+TEST(FaultPlanRun, RollingCrashesStayWithinBudget) {
+  PlanRun run(ClusterConfig{5, 2, 2, 1}, scenarios::rolling_crashes());
+  EXPECT_EQ(run.h.history().completed_count(), run.total_ops());
+  EXPECT_TRUE(check_tag_witness(run.h.history()).atomic);
+  EXPECT_EQ(run.h.fault_log()->faults_injected, 3);
+  for (NodeId s : run.h.cfg().server_ids()) {
+    EXPECT_FALSE(run.h.net().crashed(s));
+  }
+}
+
+TEST(FaultPlanRun, Fig9SkipScheduleStaysAtomic) {
+  // Each client loses links to a disjoint t-set of servers — quorums stay
+  // reachable per client, so the run must stay live and atomic.
+  PlanRun run(ClusterConfig{7, 2, 3, 1}, scenarios::fig9_skip());
+  EXPECT_EQ(run.h.history().completed_count(), run.total_ops());
+  EXPECT_TRUE(check_tag_witness(run.h.history()).atomic);
+  EXPECT_GT(run.h.fault_log()->faults_injected, 0);
+}
+
+TEST(FaultPlanRun, DelaySpikeInflatesLatencyInsideTheWindow) {
+  const ClusterConfig cfg{5, 2, 2, 1};
+  auto max_write_ms = [&](const FaultPlan& plan) {
+    SimHarness::Options o;
+    o.cfg = cfg;
+    o.seed = 11;
+    o.delay = std::make_unique<ConstantDelay>(2 * kMillisecond);
+    SimHarness h(*protocol_by_name(kAbd), std::move(o));
+    if (!plan.empty()) h.install_fault_plan(plan);
+    WorkloadOptions w;
+    w.ops_per_writer = 8;
+    w.ops_per_reader = 8;
+    run_random_workload(h, w);
+    return latency_of(h.history(), OpKind::kWrite).max_ms;
+  };
+  const double base = max_write_ms(FaultPlan{});
+  const double spiked = max_write_ms(scenarios::delay_spike(10.0));
+  EXPECT_GT(spiked, base * 2);
+}
+
+TEST(FaultPlanRun, BudgetScopedStepsAreNoopsOnZeroBudgetClusters) {
+  // On a valid t=0 cluster the fault budget is empty: minority partitions
+  // and skip schedules resolve to nothing and must not open a disruption
+  // window (quorum() == S, so isolating even one server would stall
+  // everything while the report claimed a within-budget scenario).
+  for (const FaultPlan& plan :
+       {scenarios::minority_partition(), scenarios::fig9_skip()}) {
+    PlanRun run(ClusterConfig{5, 2, 2, 0}, plan);
+    EXPECT_EQ(run.h.history().completed_count(), run.total_ops()) << plan.name;
+    EXPECT_EQ(run.h.fault_log()->faults_injected, 0) << plan.name;
+    EXPECT_FALSE(run.h.fault_log()->disrupted()) << plan.name;
+    EXPECT_FALSE(run.h.fault_log()->healed()) << plan.name;
+  }
+}
+
+TEST(FaultPlan, SpikeStepsWithoutASpikeModelLeaveTheLogEmpty) {
+  // install_fault_plan with a null spike model must not fabricate
+  // availability numbers for delay spikes that were never applied.
+  Simulator sim;
+  Network net(sim, std::make_unique<ConstantDelay>(1), Rng(1));
+  const auto log = install_fault_plan(net, ClusterConfig{5, 2, 2, 1},
+                                      scenarios::delay_spike());
+  sim.run();
+  EXPECT_EQ(log->faults_injected, 0);
+  EXPECT_FALSE(log->disrupted());
+  EXPECT_FALSE(log->healed());
+}
+
+TEST(FaultPlanRun, PersistentFaultAfterRecoverKeepsTheWindowOpen) {
+  // A restorative step only closes the disruption window when NOTHING
+  // injected is still active: crash(0) -> recover(0) -> crash(1) must not
+  // report a heal at the mid-plan recover.
+  FaultPlan plan;
+  plan.name = "recover-then-crash";
+  plan.crash(0, 30 * kMillisecond)
+      .recover(0, 60 * kMillisecond)
+      .crash(1, 90 * kMillisecond);
+  PlanRun run(ClusterConfig{5, 2, 2, 1}, plan);
+  EXPECT_EQ(run.h.fault_log()->faults_injected, 2);
+  EXPECT_TRUE(run.h.fault_log()->disrupted());
+  EXPECT_FALSE(run.h.fault_log()->healed());  // server 1 stays crashed
+  EXPECT_DOUBLE_EQ(run.metrics().recovery_ms, -1);
+}
+
+TEST(FaultPlanRun, RepeatedInstallsComposeIntoOneLog) {
+  const ClusterConfig cfg{5, 2, 2, 1};
+  SimHarness::Options o;
+  o.cfg = cfg;
+  o.seed = 7;
+  SimHarness h(*protocol_by_name(kAbd), std::move(o));
+  h.install_fault_plan(scenarios::single_crash());        // never recovers
+  h.install_fault_plan(scenarios::minority_partition());  // heals at 90ms
+  WorkloadOptions w;
+  run_random_workload(h, w);
+  const FaultPlanLog& log = *h.fault_log();
+  EXPECT_EQ(log.faults_injected, 2);  // the crash AND the partition
+  EXPECT_EQ(log.disruption_start, 30 * kMillisecond);
+  // The partition's heal cannot close the window while the crash persists.
+  EXPECT_FALSE(log.healed());
+}
+
+TEST(FaultPlan, OverlappingComposedPartitionsRefcountBlocks) {
+  // Two composed plans declaring overlapping partitions: the first plan's
+  // heal must not lift links the second plan still holds, and the second
+  // partition counts as an injected fault even though the links were
+  // already blocked.
+  Simulator sim;
+  const ClusterConfig cfg{5, 2, 2, 1};
+  Network net(sim, std::make_unique<ConstantDelay>(1), Rng(1));
+  FaultPlan a;
+  a.name = "a";
+  a.partition(FaultStep::Scope::kFaultBudget, 30).heal(60);
+  FaultPlan b;
+  b.name = "b";
+  b.partition(FaultStep::Scope::kFaultBudget, 40).heal(120);
+  auto log = install_fault_plan(net, cfg, a);
+  log = install_fault_plan(net, cfg, b, nullptr, log);
+
+  const NodeId probe_src = cfg.server_id(0);  // the isolated server (t = 1)
+  const NodeId probe_dst = cfg.writer_id(0);
+  bool blocked_at_90 = false, blocked_at_130 = true;
+  sim.schedule_at(
+      90, [&] { blocked_at_90 = net.link_blocked(probe_src, probe_dst); });
+  sim.schedule_at(
+      130, [&] { blocked_at_130 = net.link_blocked(probe_src, probe_dst); });
+  sim.run();
+
+  EXPECT_TRUE(blocked_at_90);    // a's heal at 60 left b's block in place
+  EXPECT_FALSE(blocked_at_130);  // b's heal lifted the last reference
+  EXPECT_EQ(log->faults_injected, 2);
+  EXPECT_EQ(log->disruption_start, 30);
+  EXPECT_TRUE(log->healed());
+  EXPECT_EQ(log->heal_time, 120);
+}
+
+// ---------- availability metrics ----------
+
+TEST(FaultMetrics, ClassifiesOpsAgainstTheDisruptionWindow) {
+  History h;
+  auto op = [&h](Time invoke, Time resp) {
+    const OpId id = h.begin_op(0, OpKind::kWrite, invoke);
+    h.end_op(id, resp, TaggedValue{});
+  };
+  op(0, 50);            // before the fault
+  op(60, 120);          // completes under fault
+  op(80, 150);          // completes under fault (at the heal boundary)
+  op(90, 230);          // first completion after the heal
+  op(95, 300);          // later completion
+  const OpId pending = h.begin_op(1, OpKind::kWrite, 70);  // never completes
+  (void)pending;
+
+  FaultPlanLog log;
+  log.faults_injected = 2;
+  log.disruption_start = 100;
+  log.heal_time = 150;
+  const FaultMetrics m = compute_fault_metrics(h, log);
+  EXPECT_EQ(m.faults_injected, 2);
+  EXPECT_EQ(m.ops_under_fault, 2u);
+  EXPECT_DOUBLE_EQ(m.recovery_ms, 80.0 / kMillisecond);  // 80 ns, in ms
+
+  FaultPlanLog unhealed;
+  unhealed.disruption_start = 100;
+  const FaultMetrics mu = compute_fault_metrics(h, unhealed);
+  EXPECT_EQ(mu.ops_under_fault, 4u);  // open-ended window
+  EXPECT_DOUBLE_EQ(mu.recovery_ms, -1);
+
+  const FaultMetrics none = compute_fault_metrics(h, FaultPlanLog{});
+  EXPECT_EQ(none.ops_under_fault, 0u);
+  EXPECT_DOUBLE_EQ(none.recovery_ms, -1);
+}
+
+// ---------- through the runner ----------
+
+exp::ExperimentSpec fault_spec() {
+  exp::ExperimentSpec spec;
+  spec.name = "fault-axis";
+  spec.protocols = {kAbd, "fast-read-mw(W2R1)", "regular-fast-read(W2R1)"};
+  spec.clusters = {ClusterConfig{5, 2, 2, 1}};
+  spec.fault_plans = {scenarios::minority_partition(),
+                      scenarios::majority_partition(),
+                      scenarios::crash_recover()};
+  spec.seeds = 5;
+  spec.workload.ops_per_writer = 6;
+  spec.workload.ops_per_reader = 6;
+  return spec;
+}
+
+TEST(RunnerFaults, SameResultsAcrossThreadCounts) {
+  const exp::ExperimentSpec spec = fault_spec();
+  exp::Runner::Options serial;
+  serial.threads = 1;
+  exp::Runner::Options wide;
+  wide.threads = 4;
+  const std::vector<exp::TrialResult> a = exp::Runner(serial).run(spec);
+  const std::vector<exp::TrialResult> b = exp::Runner(wide).run(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].fault_plan, b[i].fault_plan);
+    EXPECT_EQ(a[i].harness_seed, b[i].harness_seed);
+    EXPECT_EQ(a[i].write_ms, b[i].write_ms);
+    EXPECT_EQ(a[i].read_ms, b[i].read_ms);
+    EXPECT_EQ(a[i].faults_injected, b[i].faults_injected);
+    EXPECT_EQ(a[i].ops_under_fault, b[i].ops_under_fault);
+    EXPECT_EQ(a[i].recovery_ms, b[i].recovery_ms);
+  }
+  EXPECT_EQ(exp::to_csv(exp::aggregate(a)), exp::to_csv(exp::aggregate(b)));
+  EXPECT_EQ(exp::to_json(exp::aggregate(a)), exp::to_json(exp::aggregate(b)));
+}
+
+TEST(RunnerFaults, AvailabilityColumnsSeparateMinorityFromMajority) {
+  const std::vector<exp::CellStats> cells =
+      exp::aggregate(exp::Runner().run(fault_spec()));
+  ASSERT_EQ(cells.size(), 9u);
+  std::map<std::string, double> minority_ops, majority_ops;
+  for (const exp::CellStats& c : cells) {
+    // Safety: no protocol may violate its guarantee under any plan — blocked
+    // links park messages, they never forge quorums.
+    EXPECT_TRUE(c.matches_expectation())
+        << c.protocol << " under " << c.fault_plan << ": " << c.first_violation;
+    if (c.fault_plan == "majority-partition") {
+      majority_ops[c.protocol] = c.ops_under_fault;
+      // Stragglers at most: rounds already in flight when the partition cut.
+      EXPECT_LE(c.ops_under_fault, 2.0) << c.protocol;
+      EXPECT_GT(c.recovery_ms, 0.0) << c.protocol;
+    } else {
+      EXPECT_GT(c.ops_under_fault, 0.0)
+          << c.protocol << " under " << c.fault_plan;
+      if (c.fault_plan == "minority-partition") {
+        minority_ops[c.protocol] = c.ops_under_fault;
+      }
+    }
+  }
+  // Degraded availability must show up in the columns: a majority partition
+  // completes several times fewer ops in-window than a minority partition.
+  for (const auto& [proto, minority] : minority_ops) {
+    EXPECT_GT(minority, 3 * majority_ops.at(proto)) << proto;
+  }
+}
+
+TEST(RunnerFaults, PlanTrialsAreBatchInvariant) {
+  // A fault cell re-run alone reproduces its in-batch numbers, exactly like
+  // fault-free cells.
+  const exp::ExperimentSpec spec = fault_spec();
+  const std::vector<exp::TrialResult> batch = exp::Runner().run(spec);
+  const exp::TrialResult& probe = batch[batch.size() / 2];
+  std::size_t plan_index = 0;
+  for (std::size_t i = 0; i < spec.fault_plans.size(); ++i) {
+    if (spec.fault_plans[i].name == probe.fault_plan) plan_index = i;
+  }
+  const exp::TrialResult solo =
+      exp::run_trial(spec, 0, probe.cell_index, probe.protocol, probe.cfg,
+                     probe.user_seed, &spec.fault_plans[plan_index]);
+  EXPECT_EQ(solo.harness_seed, probe.harness_seed);
+  EXPECT_EQ(solo.write_ms, probe.write_ms);
+  EXPECT_EQ(solo.read_ms, probe.read_ms);
+  EXPECT_EQ(solo.ops_under_fault, probe.ops_under_fault);
+  EXPECT_EQ(solo.recovery_ms, probe.recovery_ms);
+}
+
+}  // namespace
+}  // namespace mwreg

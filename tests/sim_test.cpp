@@ -119,6 +119,68 @@ TEST(Network, CrashedSourceSendsNothing) {
   rig.a.post(1, 1);
   rig.sim.run();
   EXPECT_TRUE(rig.b.received.empty());
+  EXPECT_EQ(rig.net.stats().sent, 1u);
+  EXPECT_EQ(rig.net.stats().from_crashed, 1u);
+}
+
+TEST(Network, RecoverRestoresDeliveryBothDirections) {
+  Rig rig(std::make_unique<ConstantDelay>(10));
+  rig.net.crash(1);
+  rig.a.post(1, 1);  // dropped: dst crashed
+  rig.sim.run();
+  rig.net.recover(1);
+  rig.a.post(1, 2);  // delivered after recovery
+  rig.sim.run();
+  ASSERT_EQ(rig.b.received.size(), 1u);
+  EXPECT_EQ(rig.b.received[0].type, 2u);
+
+  rig.net.crash(0);
+  rig.a.post(1, 3);  // dropped: src crashed
+  rig.sim.run();
+  rig.net.recover(0);
+  rig.a.post(1, 4);
+  rig.sim.run();
+  ASSERT_EQ(rig.b.received.size(), 2u);
+  EXPECT_EQ(rig.b.received[1].type, 4u);
+  EXPECT_EQ(rig.net.stats().to_crashed, 1u);
+  EXPECT_EQ(rig.net.stats().from_crashed, 1u);
+}
+
+/// The NetworkStats invariant documented in network.h: at quiescence every
+/// sent message is delivered, parked, or dropped at exactly one crash check.
+void expect_stats_invariant(const NetworkStats& s) {
+  EXPECT_EQ(s.sent, s.delivered + s.held + s.to_crashed + s.from_crashed);
+}
+
+TEST(Network, StatsInvariantAcrossFaultScenarios) {
+  Rig rig(std::make_unique<ConstantDelay>(10));
+  rig.a.post(1, 1);  // delivered
+  rig.sim.run();
+  expect_stats_invariant(rig.net.stats());
+
+  rig.net.block_link(0, 1);
+  rig.a.post(1, 2);  // held
+  rig.sim.run();
+  expect_stats_invariant(rig.net.stats());
+
+  rig.net.crash(0);
+  rig.a.post(1, 3);  // dropped at the source check
+  rig.b.post(0, 4);  // dropped at the destination check
+  rig.sim.run();
+  const NetworkStats& s = rig.net.stats();
+  EXPECT_EQ(s.sent, 4u);
+  EXPECT_EQ(s.delivered, 1u);
+  EXPECT_EQ(s.held, 1u);
+  EXPECT_EQ(s.from_crashed, 1u);
+  EXPECT_EQ(s.to_crashed, 1u);
+  expect_stats_invariant(s);
+
+  rig.net.recover(0);
+  rig.net.unblock_link(0, 1);  // the held message is redelivered
+  rig.sim.run();
+  EXPECT_EQ(rig.net.stats().held, 0u);
+  EXPECT_EQ(rig.net.stats().delivered, 2u);
+  expect_stats_invariant(rig.net.stats());
 }
 
 TEST(Network, CrashDropsInFlight) {
@@ -182,6 +244,29 @@ TEST(Network, NonFifoCanReorder) {
     if (rig.b.received[i].type < rig.b.received[i - 1].type) reordered = true;
   }
   EXPECT_TRUE(reordered);
+}
+
+TEST(Network, FifoRedeliveryAfterUnblockPreservesSendOrder) {
+  // Messages scheduled before block_link are parked at delivery time (the
+  // deliver_now re-hold path) and, in FIFO mode, redelivered in send order
+  // after unblock_link.
+  Rig rig(std::make_unique<UniformDelay>(1, 1000), /*fifo=*/true, /*seed=*/3);
+  for (MsgType i = 0; i < 10; ++i) rig.a.post(1, i);
+  // The block runs at t=0, before any delivery (deliveries are at t >= 1),
+  // so every message hits the re-hold path.
+  rig.sim.schedule_at(0, [&] { rig.net.block_link(0, 1); });
+  rig.sim.run();
+  EXPECT_TRUE(rig.b.received.empty());
+  EXPECT_EQ(rig.net.stats().held, 10u);
+
+  rig.net.unblock_link(0, 1);
+  rig.sim.run();
+  ASSERT_EQ(rig.b.received.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(rig.b.received[i].type, static_cast<MsgType>(i));
+  }
+  EXPECT_EQ(rig.net.stats().held, 0u);
+  EXPECT_EQ(rig.net.stats().sent, rig.net.stats().delivered);
 }
 
 TEST(Network, FifoPreservesPerLinkOrder) {
