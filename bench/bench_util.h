@@ -8,8 +8,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
+
+#include "exp/aggregator.h"
 
 namespace mwreg::bench {
 
@@ -33,6 +36,108 @@ inline std::string fmt(double v, int prec = 2) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f", prec, v);
   return buf;
+}
+
+// ---- machine-readable perf artifacts (BENCH_*.json) ----
+//
+// Benches that feed the perf trajectory write a JSON artifact next to their
+// plain-text report so CI can archive numbers run over run. The writer is
+// deliberately tiny: keys are emitted explicitly by the bench, which is what
+// keeps each artifact's schema stable and reviewable in one place.
+
+/// Streaming JSON builder: call the structural methods in document order.
+/// Comma placement is handled automatically; values are escaped with the
+/// repo-wide exp::json_escape (one escaper, no drift).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& key(const std::string& k) {
+    comma();
+    out_ += '"' + exp::json_escape(k) + "\":";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(const std::string& v) {
+    comma();
+    out_ += '"' + exp::json_escape(v) + '"';
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v) {
+    comma();
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  JsonWriter& open(char c) {
+    comma();
+    out_ += c;
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& close(char c) {
+    out_ += c;
+    fresh_ = false;
+    return *this;
+  }
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;  // value right after key: no comma
+      return;
+    }
+    if (!fresh_ && !out_.empty() && out_.back() != '{' && out_.back() != '[') {
+      out_ += ',';
+    }
+    fresh_ = false;
+  }
+
+  std::string out_;
+  bool fresh_ = true;
+  bool pending_value_ = false;
+};
+
+/// Write a JSON artifact; logs the path so CI logs show what was produced.
+inline bool write_json_artifact(const std::string& path,
+                                const std::string& json) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  f << json << "\n";
+  f.flush();  // surface buffered write errors before claiming success
+  if (!f) {
+    std::fprintf(stderr, "bench: short write to %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), json.size() + 1);
+  return true;
 }
 
 /// Standard main: print the report, then run the registered benchmarks.

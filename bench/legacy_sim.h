@@ -1,0 +1,71 @@
+// Verbatim copy of the pre-refactor event engine (PR 2 tree): a
+// std::priority_queue of std::function closures, one heap allocation per
+// scheduled event and one more per copy out of top(). Kept alive here so
+// bench_simcore_throughput can measure the pooled engine against the real
+// baseline on every run instead of against a number in a README.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mwreg::bench {
+
+class LegacySimulator {
+ public:
+  using EventFn = std::function<void()>;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  void schedule_at(Time t, EventFn fn) {
+    if (t < now_) t = now_;
+    queue_.push(Event{t, next_seq_++, std::move(fn)});
+  }
+
+  void schedule_after(Duration d, EventFn fn) {
+    schedule_at(now_ + d, std::move(fn));
+  }
+
+  bool step() {
+    if (queue_.empty()) return false;
+    // priority_queue::top() is const; the pre-refactor engine copied the
+    // closure handle out (the cost this copy keeps is part of the baseline).
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.t;
+    ev.fn();
+    ++executed_;
+    return true;
+  }
+
+  std::size_t run() {
+    std::size_t n = 0;
+    while (step()) ++n;
+    return n;
+  }
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace mwreg::bench

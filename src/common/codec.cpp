@@ -31,22 +31,22 @@ void ByteWriter::put_value(const TaggedValue& v) {
 }
 
 std::uint8_t ByteReader::get_u8() {
-  if (pos_ >= buf_.size()) {
+  if (pos_ >= size_) {
     fail();
     return 0;
   }
-  return buf_[pos_++];
+  return data_[pos_++];
 }
 
 std::uint64_t ByteReader::get_varint() {
   std::uint64_t v = 0;
   int shift = 0;
   for (;;) {
-    if (pos_ >= buf_.size() || shift > 63) {
+    if (pos_ >= size_ || shift > 63) {
       fail();
       return 0;
     }
-    const std::uint8_t b = buf_[pos_++];
+    const std::uint8_t b = data_[pos_++];
     v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
     if ((b & 0x80) == 0) return v;
     shift += 7;
@@ -60,12 +60,13 @@ std::int64_t ByteReader::get_signed() {
 
 std::string ByteReader::get_string() {
   const std::uint64_t n = get_varint();
-  if (pos_ + n > buf_.size()) {
+  if (n > remaining()) {
     fail();
     return {};
   }
-  std::string s(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
-                buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  if (n == 0) return {};
+  std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                static_cast<std::size_t>(n));
   pos_ += n;
   return s;
 }

@@ -5,6 +5,11 @@
 // varints with zigzag for signed values, so payload sizes track information
 // content (relevant to the full-info vs. optimized implementation gap the
 // paper discusses in Section 4.1).
+//
+// Hot-path contract: a ByteWriter adopts a caller-supplied buffer (usually
+// from a BufferPool) so encoding reuses capacity instead of allocating, and
+// a ByteReader is a non-owning (pointer, length) span so decoding never
+// copies the payload.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +24,13 @@ namespace mwreg {
 
 class ByteWriter {
  public:
+  ByteWriter() = default;
+  /// Adopt `buf` as the output buffer: contents are cleared, capacity is
+  /// kept. Pass a pooled buffer here to encode without allocating.
+  explicit ByteWriter(std::vector<std::uint8_t> buf) : buf_(std::move(buf)) {
+    buf_.clear();
+  }
+
   void put_u8(std::uint8_t v) { buf_.push_back(v); }
   void put_varint(std::uint64_t v);
   void put_signed(std::int64_t v);  // zigzag + varint
@@ -34,17 +46,28 @@ class ByteWriter {
   }
 
   [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
-  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+  /// Move the encoded bytes out. The writer is left empty and valid, so one
+  /// writer can be reused for many encodes (take, refill, take, ...).
+  [[nodiscard]] std::vector<std::uint8_t> take() {
+    std::vector<std::uint8_t> out = std::move(buf_);
+    buf_.clear();  // moved-from state is unspecified; make it empty again
+    return out;
+  }
 
  private:
   std::vector<std::uint8_t> buf_;
 };
 
-/// Reader over an encoded payload. All get_* methods set the error flag on
-/// malformed input instead of throwing; callers check ok() once at the end.
+/// Non-owning reader over an encoded payload. All get_* methods set the
+/// error flag on malformed input instead of throwing; callers check ok()
+/// once at the end. The underlying bytes must outlive the reader.
 class ByteReader {
  public:
-  explicit ByteReader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& buf)
+      : ByteReader(buf.data(), buf.size()) {}
 
   std::uint8_t get_u8();
   std::uint64_t get_varint();
@@ -58,7 +81,10 @@ class ByteReader {
   std::vector<T> get_vector(Fn&& get_one) {
     const std::uint64_t n = get_varint();
     std::vector<T> out;
-    if (n > buf_.size() + 1) {  // each element needs >= 0 bytes; cap wildly bad sizes
+    // Every element consumes at least one byte, so a length prefix larger
+    // than the bytes actually left is malformed; failing here keeps a
+    // truncated or hostile prefix from forcing an oversized reserve.
+    if (n > remaining()) {
       fail();
       return out;
     }
@@ -68,12 +94,14 @@ class ByteReader {
   }
 
   [[nodiscard]] bool ok() const { return ok_; }
-  [[nodiscard]] bool exhausted() const { return pos_ == buf_.size(); }
+  [[nodiscard]] bool exhausted() const { return pos_ == size_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
 
  private:
   void fail() { ok_ = false; }
 
-  const std::vector<std::uint8_t>& buf_;
+  const std::uint8_t* data_;
+  std::size_t size_;
   std::size_t pos_ = 0;
   bool ok_ = true;
 };

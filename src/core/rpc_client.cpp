@@ -4,29 +4,58 @@
 
 namespace mwreg {
 
+void RpcClient::retire_round(PendingRound&& round) {
+  for (ServerReply& r : round.replies) {
+    pool().release(std::move(r.payload));
+  }
+  round.replies.clear();
+  round.done = nullptr;
+  spare_ = std::move(round);  // keep the replies vector's capacity
+}
+
 void RpcClient::round_trip(MsgType type, std::vector<std::uint8_t> payload,
                            int quorum, RoundDone done) {
   const std::uint64_t rpc = next_rpc_++;
-  PendingRound& round = pending_[rpc];
+  PendingRound round = std::move(spare_);
+  spare_ = PendingRound{};
+  round.rpc_id = rpc;
   round.quorum = quorum;
   round.done = std::move(done);
   round.replies.reserve(static_cast<std::size_t>(cfg_.s()));
+  pending_.push_back(std::move(round));
+  // Fan out one pooled copy of the payload per server, then recycle the
+  // original: per-hop cost is a memcpy into recycled capacity, not an
+  // allocation.
   for (NodeId s : cfg_.server_ids()) {
-    send(s, type, rpc, payload);
+    std::vector<std::uint8_t> buf = pool().acquire();
+    buf.assign(payload.begin(), payload.end());
+    send(s, type, rpc, std::move(buf));
   }
+  pool().release(std::move(payload));
 }
 
 void RpcClient::on_message(const Message& m) {
-  auto it = pending_.find(m.rpc_id);
-  if (it == pending_.end()) return;  // late reply to a finished round
-  PendingRound& round = it->second;
-  round.replies.push_back(ServerReply{m.src, m.type, m.payload});
+  std::size_t idx = pending_.size();
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].rpc_id == m.rpc_id) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx == pending_.size()) return;  // late reply to a finished round
+  PendingRound& round = pending_[idx];
+  std::vector<std::uint8_t> buf = pool().acquire();
+  buf.assign(m.payload.begin(), m.payload.end());
+  round.replies.push_back(ServerReply{m.src, m.type, std::move(buf)});
   if (static_cast<int>(round.replies.size()) < round.quorum) return;
-  RoundDone done = std::move(round.done);
-  std::vector<ServerReply> replies = std::move(round.replies);
-  pending_.erase(it);
+  // Detach the round before running the callback: `done` may start the
+  // next round_trip (two-round writers/readers chain them), which appends
+  // to pending_ and would invalidate references into it.
+  PendingRound finished = std::move(round);
+  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(idx));
   ++rounds_done_;
-  done(std::move(replies));
+  finished.done(finished.replies);
+  retire_round(std::move(finished));
 }
 
 }  // namespace mwreg

@@ -4,11 +4,16 @@
 // to every server and completes when a quorum of S - t replies has arrived.
 // Late replies are counted but not delivered. One round-trip is exactly one
 // unit of the latency the paper's W#R# taxonomy counts.
+//
+// Hot-path layout: outstanding rounds live in a small flat vector (a
+// closed-loop client has exactly one), reply payloads are copied into
+// pooled buffers and recycled after the completion callback returns, and a
+// finished round's storage is kept as a spare so the next round_trip reuses
+// its capacity.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <vector>
 
 #include "common/cluster.h"
@@ -24,7 +29,9 @@ struct ServerReply {
 
 class RpcClient : public Process {
  public:
-  using RoundDone = std::function<void(std::vector<ServerReply>)>;
+  /// Replies are only valid during the callback; the payload buffers are
+  /// recycled into the network pool when it returns.
+  using RoundDone = std::function<void(const std::vector<ServerReply>&)>;
 
   RpcClient(NodeId id, Network& net, const ClusterConfig& cfg)
       : Process(id, net), cfg_(cfg) {}
@@ -50,15 +57,23 @@ class RpcClient : public Process {
 
  private:
   struct PendingRound {
+    std::uint64_t rpc_id = 0;
     int quorum = 0;
     std::vector<ServerReply> replies;
     RoundDone done;
   };
 
+  /// Recycle a completed round's reply buffers and vector capacity.
+  void retire_round(PendingRound&& round);
+
   ClusterConfig cfg_;
   std::uint64_t next_rpc_ = 1;
   std::uint64_t rounds_done_ = 0;
-  std::map<std::uint64_t, PendingRound> pending_;
+  /// Outstanding rounds, newest last; closed-loop clients hold at most one,
+  /// so linear search beats any tree or hash structure here.
+  std::vector<PendingRound> pending_;
+  /// Storage of the last finished round, reused by the next round_trip.
+  PendingRound spare_;
 };
 
 }  // namespace mwreg

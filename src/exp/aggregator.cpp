@@ -16,6 +16,18 @@ std::string fmt(double v) {
   return buf;
 }
 
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  return out + "\"";
+}
+
+}  // namespace
+
 std::string json_escape(const std::string& s) {
   std::string out;
   for (unsigned char c : s) {
@@ -40,18 +52,6 @@ std::string json_escape(const std::string& s) {
   }
   return out;
 }
-
-std::string csv_escape(const std::string& s) {
-  if (s.find_first_of(",\"\n") == std::string::npos) return s;
-  std::string out = "\"";
-  for (char c : s) {
-    if (c == '"') out += '"';
-    out += c;
-  }
-  return out + "\"";
-}
-
-}  // namespace
 
 LatencyStats summarize_latency(std::vector<double> samples_ms) {
   return mwreg::summarize_latency(std::move(samples_ms));

@@ -58,6 +58,11 @@ std::vector<CellStats> aggregate(const std::vector<TrialResult>& results);
 /// and reports agree on the same samples.
 LatencyStats summarize_latency(std::vector<double> samples_ms);
 
+/// Escape a string for embedding in a JSON document (quotes, backslashes,
+/// and all control bytes). THE escaper for every JSON artifact in the repo
+/// — reports here, BENCH_*.json in bench_util.h — so the rules can't drift.
+std::string json_escape(const std::string& s);
+
 /// CSV with a header row; one line per cell.
 std::string to_csv(const std::vector<CellStats>& cells);
 

@@ -27,7 +27,7 @@ class TwoRoundWriter final : public RpcClient, public WriterApi {
     // RT 1: discover the highest tag on a quorum.
     round_trip(kAbdReadReq, {},
                [this, payload, done = std::move(done)](
-                   std::vector<ServerReply> replies) mutable {
+                   const std::vector<ServerReply>& replies) mutable {
                  Tag max = kBottomTag;
                  for (const ServerReply& r : replies) {
                    max = std::max(max, decode_value(r.payload).tag);
@@ -35,9 +35,11 @@ class TwoRoundWriter final : public RpcClient, public WriterApi {
                  const Tag tag{max.ts + 1, id()};
                  // RT 2: install the new value on a quorum.
                  round_trip(kAbdWriteReq,
-                            encode_value(TaggedValue{tag, payload}),
+                            encode_value(pool(), TaggedValue{tag, payload}),
                             [tag, done = std::move(done)](
-                                std::vector<ServerReply>) { done(tag); });
+                                const std::vector<ServerReply>&) {
+                              done(tag);
+                            });
                });
   }
 };
@@ -49,10 +51,9 @@ class LocalTsWriter final : public RpcClient, public WriterApi {
 
   void write(std::int64_t payload, std::function<void(Tag)> done) override {
     const Tag tag{++ts_, id()};
-    round_trip(kAbdWriteReq, encode_value(TaggedValue{tag, payload}),
-               [tag, done = std::move(done)](std::vector<ServerReply>) {
-                 done(tag);
-               });
+    round_trip(kAbdWriteReq, encode_value(pool(), TaggedValue{tag, payload}),
+               [tag, done = std::move(done)](
+                   const std::vector<ServerReply>&) { done(tag); });
   }
 
  private:
@@ -71,7 +72,8 @@ class OneRoundMaxReader final : public RpcClient, public ReaderApi {
 
   void read(std::function<void(TaggedValue)> done) override {
     round_trip(kAbdReadReq, {},
-               [done = std::move(done)](std::vector<ServerReply> replies) {
+               [done = std::move(done)](
+                   const std::vector<ServerReply>& replies) {
                  TaggedValue best{};
                  for (const ServerReply& r : replies) {
                    const TaggedValue v = decode_value(r.payload);
@@ -91,7 +93,7 @@ class TwoRoundReader final : public RpcClient, public ReaderApi {
     // RT 1: collect values from a quorum, pick the max.
     round_trip(kAbdReadReq, {},
                [this, done = std::move(done)](
-                   std::vector<ServerReply> replies) mutable {
+                   const std::vector<ServerReply>& replies) mutable {
                  TaggedValue best{};
                  for (const ServerReply& r : replies) {
                    const TaggedValue v = decode_value(r.payload);
@@ -99,9 +101,11 @@ class TwoRoundReader final : public RpcClient, public ReaderApi {
                  }
                  // RT 2: write back so later reads cannot see older values
                  // ("atomic reads must write").
-                 round_trip(kAbdWriteReq, encode_value(best),
+                 round_trip(kAbdWriteReq, encode_value(pool(), best),
                             [best, done = std::move(done)](
-                                std::vector<ServerReply>) { done(best); });
+                                const std::vector<ServerReply>&) {
+                              done(best);
+                            });
                });
   }
 };

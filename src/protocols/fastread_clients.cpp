@@ -83,8 +83,8 @@ bool admissible(const TaggedValue& v,
 void FastReader::read(std::function<void(TaggedValue)> done) {
   std::vector<TaggedValue> queue(val_queue_.begin(), val_queue_.end());
   round_trip(
-      kFrReadReq, encode_value_list(queue),
-      [this, done = std::move(done)](std::vector<ServerReply> replies) {
+      kFrReadReq, encode_value_list(pool(), queue),
+      [this, done = std::move(done)](const std::vector<ServerReply>& replies) {
         std::vector<std::vector<FrEntry>> msgs;
         msgs.reserve(replies.size());
         for (const ServerReply& r : replies) {

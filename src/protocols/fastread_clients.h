@@ -56,16 +56,18 @@ class QueryThenWriter final : public RpcClient, public WriterApi {
   void write(std::int64_t payload, std::function<void(Tag)> done) override {
     round_trip(kFrQueryReq, {},
                [this, payload, done = std::move(done)](
-                   std::vector<ServerReply> replies) mutable {
+                   const std::vector<ServerReply>& replies) mutable {
                  std::int64_t max_ts = 0;
                  for (const ServerReply& r : replies) {
                    max_ts = std::max(max_ts, decode_tag(r.payload).ts);
                  }
                  const Tag tag{max_ts + 1, id()};
                  round_trip(kFrWriteReq,
-                            encode_value(TaggedValue{tag, payload}),
+                            encode_value(pool(), TaggedValue{tag, payload}),
                             [tag, done = std::move(done)](
-                                std::vector<ServerReply>) { done(tag); });
+                                const std::vector<ServerReply>&) {
+                              done(tag);
+                            });
                });
   }
 };
@@ -77,10 +79,9 @@ class LocalTsFrWriter final : public RpcClient, public WriterApi {
 
   void write(std::int64_t payload, std::function<void(Tag)> done) override {
     const Tag tag{++ts_, id()};
-    round_trip(kFrWriteReq, encode_value(TaggedValue{tag, payload}),
-               [tag, done = std::move(done)](std::vector<ServerReply>) {
-                 done(tag);
-               });
+    round_trip(kFrWriteReq, encode_value(pool(), TaggedValue{tag, payload}),
+               [tag, done = std::move(done)](
+                   const std::vector<ServerReply>&) { done(tag); });
   }
 
  private:

@@ -46,7 +46,7 @@ class FastReadServer final : public ServerBase {
   void handle_request(const Message& req) override {
     switch (req.type) {
       case kFrQueryReq:
-        reply(req, kFrQueryAck, encode_tag(vali_.tag));
+        reply(req, kFrQueryAck, encode_tag(pool(), vali_.tag));
         break;
       case kFrWriteReq: {
         const TaggedValue v = decode_value(req.payload);
@@ -63,7 +63,7 @@ class FastReadServer final : public ServerBase {
         if (confirm_reported_) {
           for (auto& [tag, e] : entries_) e.updated.insert(req.src);
         }
-        reply(req, kFrReadAck, encode_entries(snapshot()));
+        reply(req, kFrReadAck, encode_entries(pool(), snapshot()));
         break;
       }
       default:

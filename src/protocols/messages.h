@@ -5,6 +5,12 @@
 //    servers keep only the max tagged value;
 //  - the fast-read family (the paper's Algorithm 2 servers): servers keep a
 //    value vector with per-value `updated` sets.
+//
+// Each encoder has a pooled overload taking a BufferPool: protocol hot
+// paths use it (via Process::pool()) so encoding reuses recycled payload
+// capacity; the pool-less overloads allocate fresh and remain for tests
+// and offline tooling. Decoders read through span ByteReaders and never
+// copy the payload bytes.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +18,7 @@
 
 #include "common/codec.h"
 #include "common/tag.h"
+#include "sim/buffer_pool.h"
 #include "sim/message.h"
 
 namespace mwreg {
@@ -34,6 +41,13 @@ enum MsgTypes : MsgType {
 
 // ---- ABD family payloads ----
 
+inline std::vector<std::uint8_t> encode_value(BufferPool& pool,
+                                              const TaggedValue& v) {
+  ByteWriter w(pool.acquire());
+  w.put_value(v);
+  return w.take();
+}
+
 inline std::vector<std::uint8_t> encode_value(const TaggedValue& v) {
   ByteWriter w;
   w.put_value(v);
@@ -54,6 +68,12 @@ struct FrEntry {
   std::vector<NodeId> updated;  // sorted
 };
 
+inline std::vector<std::uint8_t> encode_tag(BufferPool& pool, const Tag& t) {
+  ByteWriter w(pool.acquire());
+  w.put_tag(t);
+  return w.take();
+}
+
 inline std::vector<std::uint8_t> encode_tag(const Tag& t) {
   ByteWriter w;
   w.put_tag(t);
@@ -65,10 +85,23 @@ inline Tag decode_tag(const std::vector<std::uint8_t>& bytes) {
   return r.get_tag();
 }
 
+inline void encode_value_list_into(ByteWriter& w,
+                                   const std::vector<TaggedValue>& vals) {
+  w.put_vector(vals,
+               [](ByteWriter& bw, const TaggedValue& v) { bw.put_value(v); });
+}
+
+inline std::vector<std::uint8_t> encode_value_list(
+    BufferPool& pool, const std::vector<TaggedValue>& vals) {
+  ByteWriter w(pool.acquire());
+  encode_value_list_into(w, vals);
+  return w.take();
+}
+
 inline std::vector<std::uint8_t> encode_value_list(
     const std::vector<TaggedValue>& vals) {
   ByteWriter w;
-  w.put_vector(vals, [](ByteWriter& bw, const TaggedValue& v) { bw.put_value(v); });
+  encode_value_list_into(w, vals);
   return w.take();
 }
 
@@ -79,14 +112,26 @@ inline std::vector<TaggedValue> decode_value_list(
       [](ByteReader& br) { return br.get_value(); });
 }
 
-inline std::vector<std::uint8_t> encode_entries(
-    const std::vector<FrEntry>& entries) {
-  ByteWriter w;
+inline void encode_entries_into(ByteWriter& w,
+                                const std::vector<FrEntry>& entries) {
   w.put_vector(entries, [](ByteWriter& bw, const FrEntry& e) {
     bw.put_value(e.value);
     bw.put_vector(e.updated,
                   [](ByteWriter& bw2, NodeId id) { bw2.put_signed(id); });
   });
+}
+
+inline std::vector<std::uint8_t> encode_entries(
+    BufferPool& pool, const std::vector<FrEntry>& entries) {
+  ByteWriter w(pool.acquire());
+  encode_entries_into(w, entries);
+  return w.take();
+}
+
+inline std::vector<std::uint8_t> encode_entries(
+    const std::vector<FrEntry>& entries) {
+  ByteWriter w;
+  encode_entries_into(w, entries);
   return w.take();
 }
 

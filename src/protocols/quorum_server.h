@@ -18,7 +18,7 @@ class QuorumServer final : public ServerBase {
   void handle_request(const Message& req) override {
     switch (req.type) {
       case kAbdReadReq:
-        reply(req, kAbdReadAck, encode_value(value_));
+        reply(req, kAbdReadAck, encode_value(pool(), value_));
         break;
       case kAbdWriteReq: {
         const TaggedValue v = decode_value(req.payload);

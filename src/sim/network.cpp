@@ -16,21 +16,25 @@ void Network::attach(NodeId id, Process& p) {
   procs_[static_cast<std::size_t>(id)] = &p;
 }
 
+void Network::discard(Message&& m) { pool_.release(std::move(m.payload)); }
+
 void Network::send(Message m) {
   ++stats_.sent;
-  if (crashed_.count(m.src) > 0) {  // a crashed node sends nothing
+  if (crashed(m.src)) {  // a crashed node sends nothing
     ++stats_.from_crashed;
+    discard(std::move(m));
     return;
   }
   deliver_later(std::move(m), sim_.now());
 }
 
 void Network::deliver_later(Message m, Time sent) {
-  if (crashed_.count(m.dst) > 0) {
+  if (crashed(m.dst)) {
     ++stats_.to_crashed;
+    discard(std::move(m));
     return;
   }
-  if (blocked_.count({m.src, m.dst}) > 0) {
+  if (link_blocked(m.src, m.dst)) {
     held_.emplace_back(std::move(m), sent);
     ++stats_.held;
     return;
@@ -46,19 +50,23 @@ void Network::deliver_later(Message m, Time sent) {
     at = std::max(at, row[s][t]);
     row[s][t] = at;
   }
-  sim_.schedule_at(
-      at, [this, m = std::move(m), sent]() { deliver_now(m, sent); });
+  // The capture (this + Message + Time) fits the simulator's inline event
+  // storage, so a hop schedules without allocating.
+  sim_.schedule_at(at, [this, m = std::move(m), sent]() mutable {
+    deliver_now(std::move(m), sent);
+  });
 }
 
-void Network::deliver_now(const Message& m, Time sent) {
-  if (crashed_.count(m.dst) > 0) {
+void Network::deliver_now(Message m, Time sent) {
+  if (crashed(m.dst)) {
     ++stats_.to_crashed;
+    discard(std::move(m));
     return;
   }
   // A message can be scheduled before its link is blocked; honor the block
   // at delivery time so block_link() acts as a clean cut.
-  if (blocked_.count({m.src, m.dst}) > 0) {
-    held_.emplace_back(m, sent);
+  if (link_blocked(m.src, m.dst)) {
+    held_.emplace_back(std::move(m), sent);
     ++stats_.held;
     return;
   }
@@ -69,14 +77,40 @@ void Network::deliver_now(const Message& m, Time sent) {
                    : nullptr;
   assert(p != nullptr && "message to unattached node");
   if (p != nullptr) p->on_message(m);
+  discard(std::move(m));  // recycle the payload storage for the next hop
 }
 
-void Network::crash(NodeId id) { crashed_.insert(id); }
+void Network::crash(NodeId id) {
+  assert(id >= 0);
+  if (id < 0) return;  // sentinel ids (kNoNode) never index the table
+  const auto i = static_cast<std::size_t>(id);
+  if (i >= crashed_.size()) crashed_.resize(i + 1, 0);
+  if (crashed_[i] == 0) {
+    crashed_[i] = 1;
+    ++num_crashed_;
+  }
+}
 
-void Network::recover(NodeId id) { crashed_.erase(id); }
+void Network::recover(NodeId id) {
+  if (id < 0 || static_cast<std::size_t>(id) >= crashed_.size()) return;
+  const auto i = static_cast<std::size_t>(id);
+  if (crashed_[i] != 0) {
+    crashed_[i] = 0;
+    --num_crashed_;
+  }
+}
 
 void Network::block_link(NodeId src, NodeId dst) {
-  blocked_.insert({src, dst});
+  assert(src >= 0 && dst >= 0);
+  if (src < 0 || dst < 0) return;  // sentinel ids never index the table
+  const auto s = static_cast<std::size_t>(src);
+  const auto d = static_cast<std::size_t>(dst);
+  if (s >= blocked_.size()) blocked_.resize(s + 1);
+  if (d >= blocked_[s].size()) blocked_[s].resize(d + 1, 0);
+  if (blocked_[s][d] == 0) {
+    blocked_[s][d] = 1;
+    ++num_blocked_;
+  }
 }
 
 void Network::block_pair(NodeId a, NodeId b) {
@@ -85,7 +119,9 @@ void Network::block_pair(NodeId a, NodeId b) {
 }
 
 void Network::unblock_link(NodeId src, NodeId dst) {
-  blocked_.erase({src, dst});
+  if (!link_blocked(src, dst)) return;
+  blocked_[static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)] = 0;
+  --num_blocked_;
   std::vector<std::pair<Message, Time>> still_held;
   still_held.reserve(held_.size());
   for (auto& [m, sent] : held_) {

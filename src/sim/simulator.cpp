@@ -1,22 +1,109 @@
 #include "sim/simulator.h"
 
-#include <utility>
+#include <stdexcept>
 
 namespace mwreg {
 
-void Simulator::schedule_at(Time t, EventFn fn) {
-  if (t < now_) t = now_;
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+Simulator::~Simulator() {
+  // Destroy closures of events that never ran (e.g. run_until stopped short).
+  for (const HeapEntry& e : heap_) {
+    EventRecord& rec = record(e.slot());
+    rec.destroy(rec);
+  }
+}
+
+std::uint32_t Simulator::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  const std::uint32_t slot =
+      static_cast<std::uint32_t>(chunks_.size() * kChunkRecords);
+  // Enforced in every build type: past this, packed heap keys would alias
+  // slots and dispatch the wrong closures. ~1M *concurrently pending*
+  // events means a runaway scheduling loop, not a real workload.
+  if (slot + kChunkRecords - 1 > kSlotMask) {
+    throw std::length_error("Simulator: over 2^20 concurrently pending events");
+  }
+  chunks_.push_back(std::make_unique<Chunk>());
+  ++alloc_stats_.slab_chunks;
+  free_slots_.reserve(free_slots_.size() + kChunkRecords);
+  // Hand out the chunk's first record; queue the rest (descending, so low
+  // slots are reused first — purely cosmetic, order is invisible to runs).
+  for (std::uint32_t i = kChunkRecords - 1; i >= 1; --i) {
+    free_slots_.push_back(slot + i);
+  }
+  return slot;
+}
+
+// Both sifts move the displaced entry through a "hole" and write it once at
+// its final position instead of swapping entries at every level.
+
+void Simulator::sift_up(std::size_t i) {
+  const HeapEntry item = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!earlier(item, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = item;
+}
+
+void Simulator::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const HeapEntry item = heap_[i];
+  for (;;) {
+    std::size_t best = i;
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    const HeapEntry* cur = &item;
+    if (l < n && earlier(heap_[l], *cur)) {
+      best = l;
+      cur = &heap_[l];
+    }
+    if (r < n && earlier(heap_[r], *cur)) {
+      best = r;
+    }
+    if (best == i) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = item;
+}
+
+void Simulator::pop_top() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-  // so copy the closure handle (shared ownership is cheap enough here).
-  Event ev = queue_.top();
-  queue_.pop();
-  now_ = ev.t;
-  ev.fn();
+  if (heap_.empty()) return false;
+  const HeapEntry top = heap_.front();
+  pop_top();
+  now_ = top.t;
+  EventRecord& rec = record(top.slot());
+  // The record stays put while its closure runs: nested schedule_at calls
+  // can only grow the slab or consume free slots, never move live records.
+  // The slot is recycled only after the closure is gone — run() invokes
+  // and destroys it on the normal path; if the closure throws, the guard
+  // destroys it during unwind (same as the old std::function engine) —
+  // so re-entrant scheduling cannot overwrite a live closure and a
+  // recycled slot never holds one.
+  struct SlotGuard {
+    Simulator* sim;
+    EventRecord* rec;
+    std::uint32_t slot;
+    bool ran = false;
+    ~SlotGuard() {
+      if (!ran) rec->destroy(*rec);
+      sim->free_slots_.push_back(slot);
+    }
+  } guard{this, &rec, top.slot()};
+  rec.run(rec);
+  guard.ran = true;
   ++executed_;
   return true;
 }
@@ -29,7 +116,7 @@ std::size_t Simulator::run() {
 
 std::size_t Simulator::run_until(Time deadline) {
   std::size_t n = 0;
-  while (!queue_.empty() && queue_.top().t <= deadline) {
+  while (!heap_.empty() && heap_.front().t <= deadline) {
     step();
     ++n;
   }

@@ -4,11 +4,22 @@
 // order; ties break by insertion sequence so runs are fully deterministic.
 // All asynchrony in the system (message delays, timers, client think time)
 // is expressed as scheduled events.
+//
+// Hot-path layout: the ready queue is a flat binary heap of 16-byte
+// (time, seq·slot) entries; the closures themselves live in slab-allocated
+// event records with inline storage for the common capture sizes (a Message
+// delivery capture fits), so scheduling and executing an event allocates
+// nothing once the slab and heap have warmed up. Closures larger than the
+// inline buffer spill to the heap and are counted in alloc_stats() — the
+// allocation-regression test keeps the steady state at zero.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -17,15 +28,29 @@ namespace mwreg {
 
 class Simulator {
  public:
-  using EventFn = std::function<void()>;
+  Simulator() = default;
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   [[nodiscard]] Time now() const { return now_; }
 
   /// Schedule `fn` at absolute time `t` (clamped to now if in the past).
-  void schedule_at(Time t, EventFn fn);
+  /// `fn` is any void() callable; its captures are stored inline in the
+  /// event slab when they fit (kInlineEventBytes), else heap-spilled.
+  template <typename Fn>
+  void schedule_at(Time t, Fn&& fn) {
+    if (t < now_) t = now_;
+    const std::uint32_t slot = emplace_closure(std::forward<Fn>(fn));
+    heap_.push_back(HeapEntry{t, (next_seq_++ << kSlotBits) | slot});
+    sift_up(heap_.size() - 1);
+  }
 
   /// Schedule `fn` after `d` simulated nanoseconds.
-  void schedule_after(Duration d, EventFn fn) { schedule_at(now_ + d, std::move(fn)); }
+  template <typename Fn>
+  void schedule_after(Duration d, Fn&& fn) {
+    schedule_at(now_ + d, std::forward<Fn>(fn));
+  }
 
   /// Execute the next event. Returns false if the queue is empty.
   bool step();
@@ -34,29 +59,119 @@ class Simulator {
   std::size_t run();
 
   /// Run until the queue is empty or virtual time would exceed `deadline`.
-  /// Events at exactly `deadline` are executed.
+  /// Events at exactly `deadline` are executed; later events stay queued.
   std::size_t run_until(Time deadline);
 
-  [[nodiscard]] bool idle() const { return queue_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] bool idle() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
- private:
-  struct Event {
-    Time t;
-    std::uint64_t seq;
-    EventFn fn;
+  /// Allocation counters for the engine itself. Steady-state operation —
+  /// after the first events have warmed the slab — performs none: slots and
+  /// heap capacity are recycled. tests/alloc_regression_test.cpp pins this.
+  struct AllocStats {
+    std::uint64_t slab_chunks = 0;  ///< event-record chunks ever allocated
+    std::uint64_t heap_spills = 0;  ///< closures too large for inline storage
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+  [[nodiscard]] const AllocStats& alloc_stats() const { return alloc_stats_; }
+  /// Total engine allocations (chunks + spills), for regression asserts.
+  [[nodiscard]] std::uint64_t allocations() const {
+    return alloc_stats_.slab_chunks + alloc_stats_.heap_spills;
+  }
+
+  /// Inline capture budget: sized so a Network delivery closure
+  /// (Message + send time + network pointer) stays inline.
+  static constexpr std::size_t kInlineEventBytes = 88;
+
+ private:
+  /// Slot indices share a word with the tie-break sequence: seq lives in
+  /// the high bits, so comparing keys orders by seq exactly (sequences are
+  /// unique), and the entry stays 16 bytes for cache-friendly sifting.
+  /// 2^20 slots bounds *concurrently pending* events at ~1M (a sweep trial
+  /// holds tens); 2^44 sequences bounds total events per simulator.
+  static constexpr unsigned kSlotBits = 20;
+  static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
+
+  struct HeapEntry {
+    Time t;
+    std::uint64_t key;  ///< (seq << kSlotBits) | slot
+    [[nodiscard]] std::uint32_t slot() const {
+      return static_cast<std::uint32_t>(key) & kSlotMask;
     }
   };
+
+  /// Type-erased closure in a fixed slab slot. Records never move (the slab
+  /// grows by whole chunks), so closures are constructed in place and run
+  /// from the same address; no move support is needed. `run` invokes and
+  /// then destroys in one indirect call (the execute hot path); `destroy`
+  /// alone is for events that die unexecuted (~Simulator).
+  struct EventRecord {
+    void (*run)(EventRecord&) = nullptr;
+    void (*destroy)(EventRecord&) = nullptr;
+    void* spill = nullptr;  ///< heap fallback for oversized closures
+    alignas(std::max_align_t) unsigned char storage[kInlineEventBytes];
+  };
+
+  static constexpr std::size_t kChunkRecords = 256;
+  struct Chunk {
+    EventRecord records[kChunkRecords];
+  };
+
+  template <typename F>
+  std::uint32_t emplace_closure(F&& fn) {
+    using Fn = std::decay_t<F>;
+    const std::uint32_t slot = acquire_slot();
+    EventRecord& rec = record(slot);
+    if constexpr (sizeof(Fn) <= kInlineEventBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(rec.storage)) Fn(std::forward<F>(fn));
+      rec.run = [](EventRecord& r) {
+        Fn* f = std::launder(reinterpret_cast<Fn*>(r.storage));
+        (*f)();
+        f->~Fn();
+      };
+      rec.destroy = [](EventRecord& r) {
+        std::launder(reinterpret_cast<Fn*>(r.storage))->~Fn();
+      };
+    } else {
+      rec.spill = new Fn(std::forward<F>(fn));
+      ++alloc_stats_.heap_spills;
+      rec.run = [](EventRecord& r) {
+        Fn* f = static_cast<Fn*>(r.spill);
+        (*f)();
+        delete f;
+        r.spill = nullptr;
+      };
+      rec.destroy = [](EventRecord& r) {
+        delete static_cast<Fn*>(r.spill);
+        r.spill = nullptr;
+      };
+    }
+    return slot;
+  }
+
+  [[nodiscard]] EventRecord& record(std::uint32_t slot) {
+    return chunks_[slot / kChunkRecords]->records[slot % kChunkRecords];
+  }
+
+  std::uint32_t acquire_slot();
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void pop_top();
+
+  /// Min-heap order: earliest (time, seq) at heap_[0]. Key comparison is
+  /// sequence comparison: seq occupies the high bits and is unique.
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    return a.t != b.t ? a.t < b.t : a.key < b.key;
+  }
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<HeapEntry> heap_;
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::vector<std::uint32_t> free_slots_;
+  AllocStats alloc_stats_;
 };
 
 }  // namespace mwreg

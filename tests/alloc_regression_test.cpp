@@ -1,0 +1,94 @@
+// Allocation regression: steady-state simulation must be allocation-free
+// as measured by the engine and pool counters.
+//
+// A fixed W2R1 workload warms the event slab and the payload pool; after
+// that, further closed-loop traffic on the same harness must not move
+// either counter: no new slab chunks, no closure heap-spills, no fresh
+// payload buffers. This is the property the hot-path rearchitecture bought
+// — any change that reintroduces a per-event or per-hop allocation (a
+// closure that outgrows the inline budget, a payload that bypasses the
+// pool) trips one of these counters.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "core/harness.h"
+#include "core/workload.h"
+#include "protocols/protocols.h"
+#include "sim/buffer_pool.h"
+
+namespace mwreg {
+namespace {
+
+/// Drive `ops` further closed-loop operations (alternating write/read on
+/// client 0) against an already-warm harness. Everything is captured by
+/// reference: the locals outlive h.run(), which returns at quiescence.
+void run_closed_loop_burst(SimHarness& h, int ops) {
+  int remaining = ops;
+  std::function<void()> step;
+  step = [&h, &remaining, &step]() {
+    if (--remaining < 0) return;
+    if (remaining % 2 == 0) {
+      h.async_write(0, 5'000'000 + remaining, [&step]() { step(); });
+    } else {
+      h.async_read(0, [&step](TaggedValue) { step(); });
+    }
+  };
+  step();
+  h.run();
+}
+
+TEST(AllocRegression, SteadyStateW2R1WorkloadAllocatesNothing) {
+  const Protocol* proto = protocol_by_name("fast-read-mw(W2R1)");
+  ASSERT_NE(proto, nullptr);
+  SimHarness::Options o;
+  o.cfg = ClusterConfig{5, 2, 1, 1};
+  o.seed = 42;
+  o.delay = std::make_unique<UniformDelay>(kMillisecond, 10 * kMillisecond);
+  SimHarness h(*proto, std::move(o));
+
+  // Warmup: the fixed W2R1 workload (closed loop, every client).
+  WorkloadOptions w;
+  w.ops_per_writer = 60;
+  w.ops_per_reader = 60;
+  run_random_workload(h, w);
+
+  const std::uint64_t engine_allocs = h.sim().allocations();
+  const BufferPool::Stats pool_warm = h.net().pool().stats();
+  EXPECT_GT(pool_warm.acquired, 0u);
+  EXPECT_GT(pool_warm.recycled, 0u);
+
+  // Steady state: a closed loop never needs a larger working set than the
+  // run that warmed the slab and the pool.
+  run_closed_loop_burst(h, 80);
+
+  EXPECT_EQ(h.sim().allocations() - engine_allocs, 0u)
+      << "slab chunks or closure heap-spills grew after warmup";
+  EXPECT_EQ(h.net().pool().stats().misses - pool_warm.misses, 0u)
+      << "a payload buffer was allocated fresh after warmup";
+  // The burst really did run traffic through the pool.
+  EXPECT_GT(h.net().pool().stats().acquired, pool_warm.acquired);
+}
+
+TEST(AllocRegression, DeliveryClosureFitsTheInlineEventBudget) {
+  // The per-hop closure (Network pointer + Message + send time) must stay
+  // inside the simulator's inline storage: a heap spill on the delivery
+  // path would silently reintroduce an allocation per message.
+  const Protocol* proto = protocol_by_name("mw-abd(W2R2)");
+  ASSERT_NE(proto, nullptr);
+  SimHarness::Options o;
+  o.cfg = ClusterConfig{3, 2, 2, 1};
+  o.seed = 1;
+  SimHarness h(*proto, std::move(o));
+  WorkloadOptions w;
+  w.ops_per_writer = 20;
+  w.ops_per_reader = 20;
+  run_random_workload(h, w);
+  EXPECT_GT(h.net().stats().delivered, 0u);
+  EXPECT_EQ(h.sim().alloc_stats().heap_spills, 0u)
+      << "a hot-path closure outgrew Simulator::kInlineEventBytes";
+}
+
+}  // namespace
+}  // namespace mwreg

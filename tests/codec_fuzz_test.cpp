@@ -74,14 +74,77 @@ TEST_P(CodecFuzz, TruncationsOfValidPayloadsFailCleanly) {
   }
   // Every strict prefix decodes without crashing.
   for (std::size_t cut = 0; cut < full.size(); ++cut) {
-    std::vector<std::uint8_t> trunc(full.begin(),
-                                    full.begin() + static_cast<std::ptrdiff_t>(cut));
+    std::vector<std::uint8_t> trunc(
+        full.begin(), full.begin() + static_cast<std::ptrdiff_t>(cut));
     (void)decode_entries(trunc);
   }
   SUCCEED();
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Range<std::uint64_t>(1, 7));
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+// Regression: a truncated buffer carrying a huge length prefix must fail
+// the size guard against the bytes *remaining*, not the total buffer size.
+// The old guard (n > buf.size() + 1) passed any prefix up to the full
+// buffer length even with the reader nearly exhausted, reserving far more
+// elements than the remaining bytes could ever decode.
+TEST(CodecGuard, TruncatedHugeLengthPrefixFailsWithoutReserving) {
+  // 64 bytes total: a 59-byte string consumes most of the buffer, then a
+  // varint length prefix claims 60 elements with only 3 bytes remaining.
+  ByteWriter w;
+  w.put_string(std::string(59, 'x'));
+  w.put_varint(60);  // 1 byte; 60 <= total size, > remaining
+  w.put_u8(1);
+  w.put_u8(2);
+  w.put_u8(3);
+  std::vector<std::uint8_t> bytes = w.take();
+  ASSERT_EQ(bytes.size(), 64u);
+
+  ByteReader r(bytes);
+  (void)r.get_string();
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.remaining(), 4u);
+  const auto out =
+      r.get_vector<std::uint8_t>([](ByteReader& br) { return br.get_u8(); });
+  EXPECT_FALSE(r.ok());
+  // The guard must trip before any element is decoded or reserved.
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(out.capacity(), 0u);
+}
+
+// The same hostile shape nested inside a message decoder: an entries
+// payload whose inner updated-list claims more ids than the bytes left.
+TEST(CodecGuard, NestedListLengthCappedByRemainingBytes) {
+  ByteWriter w;
+  w.put_varint(1);            // one entry
+  w.put_value(TaggedValue{Tag{1, 0}, 7});
+  w.put_varint(1000);         // updated-set length: absurd vs. remaining
+  w.put_signed(1);
+  const std::vector<std::uint8_t> bytes = w.bytes();
+  const auto entries = decode_entries(bytes);
+  EXPECT_TRUE(entries.empty() || entries[0].updated.size() <= bytes.size());
+}
+
+// A reader over a raw (pointer, length) span behaves identically to one
+// over the owning vector — the decode path never copies payload bytes.
+TEST(CodecSpan, SpanReaderMatchesVectorReader) {
+  ByteWriter w;
+  w.put_varint(42);
+  w.put_string("span");
+  w.put_value(TaggedValue{Tag{3, 1}, -9});
+  const std::vector<std::uint8_t> bytes = w.bytes();
+
+  ByteReader vec_r(bytes);
+  ByteReader span_r(bytes.data(), bytes.size());
+  EXPECT_EQ(vec_r.get_varint(), span_r.get_varint());
+  EXPECT_EQ(vec_r.get_string(), span_r.get_string());
+  EXPECT_EQ(vec_r.get_value(), span_r.get_value());
+  EXPECT_TRUE(vec_r.ok());
+  EXPECT_TRUE(span_r.ok());
+  EXPECT_TRUE(vec_r.exhausted());
+  EXPECT_TRUE(span_r.exhausted());
+}
 
 }  // namespace
 }  // namespace mwreg

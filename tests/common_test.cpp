@@ -210,6 +210,46 @@ TEST(Codec, VectorRoundTrip) {
   EXPECT_EQ(xs, ys);
 }
 
+TEST(Codec, WriterIsReusableAfterTake) {
+  // take() must leave the writer empty and valid: one writer (or a pooled
+  // buffer cycling through writers) encodes many messages back to back.
+  ByteWriter w;
+  w.put_string("first");
+  w.put_signed(-42);
+  const std::vector<std::uint8_t> first = w.take();
+  EXPECT_TRUE(w.bytes().empty());
+
+  w.put_string("second");
+  w.put_varint(7);
+  const std::vector<std::uint8_t> second = w.take();
+  EXPECT_TRUE(w.bytes().empty());
+
+  ByteReader r1(first);
+  EXPECT_EQ(r1.get_string(), "first");
+  EXPECT_EQ(r1.get_signed(), -42);
+  EXPECT_TRUE(r1.ok());
+  EXPECT_TRUE(r1.exhausted());
+
+  ByteReader r2(second);
+  EXPECT_EQ(r2.get_string(), "second");
+  EXPECT_EQ(r2.get_varint(), 7u);
+  EXPECT_TRUE(r2.ok());
+  EXPECT_TRUE(r2.exhausted());
+}
+
+TEST(Codec, WriterAdoptsRecycledBufferClearedWithCapacityKept) {
+  std::vector<std::uint8_t> recycled{9, 9, 9, 9, 9, 9, 9, 9};
+  const std::size_t cap = recycled.capacity();
+  ByteWriter w(std::move(recycled));
+  EXPECT_TRUE(w.bytes().empty());  // stale contents cleared
+  w.put_varint(5);
+  const std::vector<std::uint8_t> out = w.take();
+  EXPECT_GE(out.capacity(), cap);  // old storage reused, not reallocated
+  ByteReader r(out);
+  EXPECT_EQ(r.get_varint(), 5u);
+  EXPECT_TRUE(r.exhausted());
+}
+
 TEST(Codec, TruncatedInputSetsError) {
   ByteWriter w;
   w.put_varint(1'000'000);
@@ -241,7 +281,8 @@ TEST_P(CodecProperty, RandomRoundTrip) {
     const std::int64_t v = static_cast<std::int64_t>(rng.next());
     signeds.push_back(v);
     w.put_signed(v);
-    const Tag t{rng.next_in(0, 1'000'000), static_cast<NodeId>(rng.next_in(-1, 100))};
+    const Tag t{rng.next_in(0, 1'000'000),
+                static_cast<NodeId>(rng.next_in(-1, 100))};
     tags.push_back(t);
     w.put_tag(t);
   }

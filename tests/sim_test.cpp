@@ -1,7 +1,9 @@
 // Unit tests for the discrete-event simulator and network substrate.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/delay_model.h"
@@ -68,6 +70,118 @@ TEST(Simulator, RunUntilStopsAtDeadline) {
   EXPECT_EQ(sim.now(), 20);
   sim.run();
   EXPECT_EQ(hits, 3);
+}
+
+TEST(Simulator, RunUntilExecutesEventsExactlyAtDeadline) {
+  Simulator sim;
+  std::vector<int> hits;
+  sim.schedule_at(10, [&] { hits.push_back(10); });
+  sim.schedule_at(20, [&] { hits.push_back(20); });  // exactly at deadline
+  sim.schedule_at(21, [&] { hits.push_back(21); });  // past it
+  EXPECT_EQ(sim.run_until(20), 2u);
+  EXPECT_EQ(hits, (std::vector<int>{10, 20}));
+  EXPECT_EQ(sim.now(), 20);
+  // The past-deadline event survives in the queue, untouched.
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_FALSE(sim.idle());
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(hits.back(), 21);
+}
+
+TEST(Simulator, RunUntilAdvancesTimeWithEmptyQueueAndNeverRewinds) {
+  Simulator sim;
+  EXPECT_EQ(sim.run_until(50), 0u);
+  EXPECT_EQ(sim.now(), 50);  // idle time still advances to the deadline
+  // A deadline in the past must not rewind the clock.
+  EXPECT_EQ(sim.run_until(10), 0u);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(Simulator, RunUntilExecutesEventsSpawnedAtTheDeadline) {
+  Simulator sim;
+  int hits = 0;
+  sim.schedule_at(20, [&] {
+    ++hits;
+    sim.schedule_at(20, [&] { ++hits; });  // same-time follow-up
+    sim.schedule_at(21, [&] { ++hits; });  // past the deadline
+  });
+  EXPECT_EQ(sim.run_until(20), 2u);
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, ScheduleAtClampsPastTimesToNowInInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(100, [&] {
+    // All three are in the past; they clamp to now()=100 and must run
+    // after this event in insertion order (the (time, seq) tie-break).
+    sim.schedule_at(5, [&] { order.push_back(1); });
+    sim.schedule_at(3, [&] { order.push_back(2); });
+    sim.schedule_at(0, [&] { order.push_back(3); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, SlabRecyclesSlotsSteadyState) {
+  Simulator sim;
+  // A long self-rescheduling chain keeps exactly one event pending; after
+  // the first chunk is allocated the engine must not allocate again.
+  int remaining = 10'000;
+  std::function<void()> tick = [&] {
+    if (--remaining > 0) sim.schedule_after(1, tick);
+  };
+  sim.schedule_at(0, tick);
+  const std::uint64_t warm = sim.allocations();
+  EXPECT_EQ(sim.run(), 10'000u);
+  EXPECT_EQ(sim.allocations(), warm);
+  EXPECT_EQ(sim.alloc_stats().slab_chunks, 1u);
+}
+
+TEST(Simulator, OversizedClosuresSpillButStillRun) {
+  Simulator sim;
+  // A capture bigger than the inline budget takes the heap-spill path.
+  struct Huge {
+    char bytes[Simulator::kInlineEventBytes + 64] = {};
+  };
+  Huge big;
+  big.bytes[0] = 42;
+  int seen = 0;
+  sim.schedule_at(1, [big, &seen] { seen = big.bytes[0]; });
+  EXPECT_EQ(sim.alloc_stats().heap_spills, 1u);
+  sim.run();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(Simulator, ThrowingClosureIsDestroyedAndEngineStaysUsable) {
+  Simulator sim;
+  auto token = std::make_shared<int>(1);
+  sim.schedule_at(1, [token] { throw std::runtime_error("boom"); });
+  EXPECT_EQ(token.use_count(), 2);
+  EXPECT_THROW(sim.step(), std::runtime_error);
+  // The closure was destroyed during unwind and its slot recycled cleanly.
+  EXPECT_EQ(token.use_count(), 1);
+  int hits = 0;
+  sim.schedule_at(2, [&] { ++hits; });
+  sim.run();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(Simulator, DestroysUnexecutedEventsCleanly) {
+  // Events left in the queue when the simulator dies (run_until stopping
+  // short) must have their closures destroyed, not leaked: the shared_ptr
+  // use count observes the destruction.
+  auto token = std::make_shared<int>(7);
+  {
+    Simulator sim;
+    sim.schedule_at(100, [token] { (void)*token; });
+    sim.schedule_at(200, [token] { (void)*token; });
+    EXPECT_EQ(sim.run_until(50), 0u);
+    EXPECT_EQ(token.use_count(), 3);
+  }
+  EXPECT_EQ(token.use_count(), 1);
 }
 
 // ---------- Network ----------
