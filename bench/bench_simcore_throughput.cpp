@@ -3,11 +3,12 @@
 // against the verbatim pre-refactor engine (legacy_sim.h).
 //
 // Next to the plain-text report this bench writes BENCH_simcore.json, the
-// first artifact of the perf trajectory. Schema (schema_version 1):
+// artifact of the perf trajectory that scripts/bench_trend.py gates CI on.
+// Schema (schema_version 2):
 //
 //   {
 //     "bench": "simcore_throughput",
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "engine_comparison": {            // same W2R1-shaped hop stream
 //       "workload": "w2r1_replay_uniform_delay",
 //       "hops": <uint>,                 //   through both engines
@@ -19,17 +20,24 @@
 //     },
 //     "workloads": [                    // end-to-end harness runs
 //       {"protocol": <s>, "cluster": <s>, "ops_per_client": <int>,
-//        "events": <uint>, "msgs": <uint>, "wall_ms": <f>,
+//        "events": <uint>, "msgs": <uint>, "bytes_on_wire": <uint>,
+//        "wall_ms": <f>,
 //        "events_per_sec": <f>, "msgs_per_sec": <f>,
 //        "engine_allocs": <uint>,        // slab chunks + closure spills
 //        "pool_misses": <uint>,          // payload buffers allocated fresh
 //        "steady_engine_allocs": <uint>, // both deltas over a post-warmup
 //        "steady_pool_misses": <uint>}   //   burst; 0 = allocation-free
-//     ]
-//   }
+//     ],
+//     "valuevector": [                  // long-horizon GC rows (schema in
+//       ...                            //   bench/valuevector_rows.h):
+//     ]                                //   bytes-on-wire + windowed
+//   }                                  //   read-ack sizes, GC vs. ablation
 //
-// Compare runs by diffing events_per_sec per (protocol, cluster) row and
-// the engine_comparison speedup; steady_* columns must stay 0.
+// Schema v2 adds bytes_on_wire to workload rows and the "valuevector"
+// section (the GC+delta protocol vs. its gc_enabled=false ablation on
+// long-horizon W2R1/W4R4 runs). Compare runs by diffing events_per_sec per
+// row and the engine_comparison speedup; steady_* columns must stay 0 —
+// or let scripts/bench_trend.py do it against bench/baselines/.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -43,6 +51,7 @@
 
 #include "bench_util.h"
 #include "common/rng.h"
+#include "valuevector_rows.h"
 #include "core/harness.h"
 #include "core/workload.h"
 #include "legacy_sim.h"
@@ -230,6 +239,7 @@ struct WorkloadRow {
   int ops_per_client = 0;
   std::uint64_t events = 0;
   std::uint64_t msgs = 0;
+  std::uint64_t bytes_on_wire = 0;
   double wall_ms = 0;
   std::uint64_t engine_allocs = 0;
   std::uint64_t pool_misses = 0;
@@ -265,6 +275,7 @@ WorkloadRow run_workload(const std::string& protocol, const ClusterConfig& cfg,
   row.wall_ms = seconds_since(t0) * 1e3;
   row.events = h.sim().executed();
   row.msgs = h.net().stats().sent;
+  row.bytes_on_wire = h.net().stats().bytes_sent;
   row.engine_allocs = h.sim().allocations();
   row.pool_misses = h.net().pool().stats().misses;
 
@@ -307,6 +318,7 @@ void report() {
   const std::vector<std::pair<std::string, ClusterConfig>> grid = {
       {"fast-read-mw(W2R1)", ClusterConfig{5, 2, 1, 1}},
       {"fast-read-mw(W2R1)", ClusterConfig{9, 2, 1, 2}},
+      {"fast-read-mw-gc(W2R1)", ClusterConfig{5, 2, 1, 1}},
       {"mw-abd(W2R2)", ClusterConfig{3, 2, 2, 1}},
       {"mw-abd(W2R2)", ClusterConfig{5, 2, 2, 2}},
       {"fast-swmr(W1R1)", ClusterConfig{5, 1, 1, 1}},
@@ -314,7 +326,15 @@ void report() {
   std::vector<WorkloadRow> rows;
   rows.reserve(grid.size());
   for (const auto& [proto, cfg] : grid) {
-    rows.push_back(run_workload(proto, cfg, 300));
+    // Best-of-3: the run is deterministic (events, bytes, counters are
+    // identical across reps), only wall time jitters on shared runners —
+    // keep the fastest rep so the perf-trend gate diffs a stable number.
+    WorkloadRow best = run_workload(proto, cfg, 300);
+    for (int rep = 1; rep < 3; ++rep) {
+      WorkloadRow r = run_workload(proto, cfg, 300);
+      if (r.wall_ms < best.wall_ms) best = r;
+    }
+    rows.push_back(std::move(best));
   }
 
   header("End-to-end workload throughput (300 ops/client, uniform 1..10ms)");
@@ -328,10 +348,13 @@ void report() {
         {24, 18, 12, 12, 8, 8});
   }
 
+  const std::vector<VvRow> vv_rows = run_valuevector_rows();
+  print_valuevector_rows(vv_rows);
+
   JsonWriter j;
   j.begin_object();
   j.key("bench").value("simcore_throughput");
-  j.key("schema_version").value(1);
+  j.key("schema_version").value(2);
   j.key("engine_comparison").begin_object();
   j.key("workload").value("w2r1_replay_uniform_delay");
   j.key("hops").value(cmp.hops);
@@ -347,6 +370,7 @@ void report() {
     j.key("ops_per_client").value(r.ops_per_client);
     j.key("events").value(r.events);
     j.key("msgs").value(r.msgs);
+    j.key("bytes_on_wire").value(r.bytes_on_wire);
     j.key("wall_ms").value(r.wall_ms);
     j.key("events_per_sec").value(r.events_per_sec());
     j.key("msgs_per_sec").value(r.msgs_per_sec());
@@ -357,6 +381,7 @@ void report() {
     j.end_object();
   }
   j.end_array();
+  emit_valuevector_json(j, vv_rows);
   j.end_object();
   write_json_artifact("BENCH_simcore.json", j.str());
 }

@@ -1,0 +1,298 @@
+#!/usr/bin/env python3
+"""Perf-trend gate: diff a fresh BENCH_simcore.json against the checked-in
+baseline and fail on events/sec regressions.
+
+Usage:
+    bench_trend.py --artifact build/BENCH_simcore.json \
+                   --baseline bench/baselines/BENCH_simcore.baseline.json \
+                   [--max-regression 0.25]
+    bench_trend.py --self-test
+
+Rows are keyed by (section, protocol, cluster[, workload]) so the grid can
+grow without invalidating history; a row present in the baseline but
+missing from the artifact is itself a failure (silent coverage loss reads
+as "no regression").
+
+Shared CI runners differ wildly in absolute speed, so the gate is
+ratio-based: every row's events/sec is first normalized by the artifact's
+own engine_comparison.legacy_events_per_sec — a fixed single-threaded
+replay that acts as an in-run machine-speed calibration — and only then
+compared against the baseline's normalized value. A >25% drop of the
+normalized ratio fails; absolute machine speed cancels out.
+
+The gate also re-asserts the allocation-free steady state: any workload
+row with nonzero steady_engine_allocs/steady_pool_misses fails.
+
+Refreshing the baseline after a deliberate perf change:
+    cmake --build build --target refresh-baseline
+then commit bench/baselines/BENCH_simcore.baseline.json with the PR that
+changed the numbers (see README "Performance").
+
+Exit codes: 0 pass, 1 regression/coverage failure, 2 usage or I/O error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def collect_rows(doc):
+    """Flatten an artifact into {row_key: (events_per_sec, wall_ms)}."""
+    rows = {}
+    for w in doc.get("workloads", []):
+        key = "workloads/{}/{}".format(w["protocol"], w["cluster"])
+        rows[key] = (float(w["events_per_sec"]), float(w.get("wall_ms", 0)))
+    for v in doc.get("valuevector", []):
+        key = "valuevector/{}/{}/{}".format(
+            v["protocol"], v["cluster"], v["workload"]
+        )
+        rows[key] = (float(v["events_per_sec"]), float(v.get("wall_ms", 0)))
+    return rows
+
+
+def calibration(doc):
+    """In-run machine-speed reference; None when absent (raw comparison)."""
+    eps = doc.get("engine_comparison", {}).get("legacy_events_per_sec")
+    if eps is None:
+        return None
+    eps = float(eps)
+    return eps if eps > 0 else None
+
+
+def steady_alloc_failures(doc):
+    bad = []
+    for w in doc.get("workloads", []):
+        steady = int(w.get("steady_engine_allocs", 0)) + int(
+            w.get("steady_pool_misses", 0)
+        )
+        if steady != 0:
+            bad.append(
+                "workloads/{}/{}: steady-state allocations = {}".format(
+                    w["protocol"], w["cluster"], steady
+                )
+            )
+    return bad
+
+
+def compare(artifact, baseline, max_regression, min_wall_ms=5.0):
+    """Return (failures, report_lines).
+
+    Rows whose wall time is below `min_wall_ms` in either run are reported
+    but not hard-gated: at millisecond scale a single scheduler preemption
+    exceeds any reasonable threshold, so tiny rows would flake. (Benches
+    already report best-of-3 wall times; this is the second guard.)
+    Row *presence* is still enforced for every baselined row.
+    """
+    failures = []
+    lines = []
+    art_rows = collect_rows(artifact)
+    base_rows = collect_rows(baseline)
+    art_cal = calibration(artifact)
+    base_cal = calibration(baseline)
+    normalized = art_cal is not None and base_cal is not None
+    if not normalized:
+        lines.append(
+            "warning: engine_comparison calibration missing; "
+            "comparing raw events/sec (machine-speed sensitive)"
+        )
+
+    lines.append(
+        "{:<58} {:>12} {:>12} {:>8}".format("row", "baseline", "artifact", "ratio")
+    )
+    for key in sorted(base_rows):
+        if key not in art_rows:
+            failures.append("row disappeared from artifact: " + key)
+            continue
+        base_eps, base_wall = base_rows[key]
+        art_eps, art_wall = art_rows[key]
+        base_v = base_eps / (base_cal if normalized else 1.0)
+        art_v = art_eps / (art_cal if normalized else 1.0)
+        ratio = art_v / base_v if base_v > 0 else float("inf")
+        flag = ""
+        if ratio < 1.0 - max_regression:
+            if min(base_wall, art_wall) < min_wall_ms:
+                flag = "  (regressed, ungated: wall < {:g} ms)".format(
+                    min_wall_ms
+                )
+            else:
+                failures.append(
+                    "{}: normalized events/sec fell to {:.0%} of baseline".format(
+                        key, ratio
+                    )
+                )
+                flag = "  << FAIL"
+        lines.append(
+            "{:<58} {:>12.4g} {:>12.4g} {:>7.2f}x{}".format(
+                key, base_eps, art_eps, ratio, flag
+            )
+        )
+    for key in sorted(set(art_rows) - set(base_rows)):
+        lines.append(
+            "{:<58} {:>12} {:>12.4g}   (new row, not gated)".format(
+                key, "-", art_rows[key][0]
+            )
+        )
+
+    for msg in steady_alloc_failures(artifact):
+        failures.append(msg)
+    return failures, lines
+
+
+# ---- self-test -------------------------------------------------------------
+
+
+def _doc(rows, legacy_eps=1_000_000.0, steady=0, wall_ms=100.0):
+    """Synthetic artifact with the given {(proto, cluster): eps} workloads."""
+    return {
+        "bench": "simcore_throughput",
+        "schema_version": 2,
+        "engine_comparison": {"legacy_events_per_sec": legacy_eps},
+        "workloads": [
+            {
+                "protocol": p,
+                "cluster": c,
+                "events_per_sec": eps,
+                "wall_ms": wall_ms,
+                "steady_engine_allocs": steady,
+                "steady_pool_misses": 0,
+            }
+            for (p, c), eps in rows.items()
+        ],
+        "valuevector": [],
+    }
+
+
+def self_test():
+    base = _doc({("fr", "S=5"): 400_000.0, ("abd", "S=3"): 8_000_000.0})
+    checks = []
+
+    def check(name, doc, want_fail, max_regression=0.25):
+        failures, _ = compare(doc, base, max_regression)
+        ok = bool(failures) == want_fail
+        checks.append((name, ok, failures))
+        return ok
+
+    # Identical numbers pass.
+    check("identical", _doc({("fr", "S=5"): 400_000.0, ("abd", "S=3"): 8e6}), False)
+    # A 10% dip is shared-runner noise: pass.
+    check("10pc-dip", _doc({("fr", "S=5"): 360_000.0, ("abd", "S=3"): 8e6}), False)
+    # A >25% regression on one row fails.
+    check("30pc-drop", _doc({("fr", "S=5"): 280_000.0, ("abd", "S=3"): 8e6}), True)
+    # A vanished row fails (coverage loss must be loud).
+    check("missing-row", _doc({("fr", "S=5"): 400_000.0}), True)
+    # A new, un-baselined row passes (it gets gated once baselined).
+    check(
+        "new-row",
+        _doc({("fr", "S=5"): 4e5, ("abd", "S=3"): 8e6, ("new", "S=9"): 1.0}),
+        False,
+    )
+    # Machine speed cancels: a runner half as fast shows half the eps
+    # everywhere, including the calibration row, and still passes.
+    check(
+        "slow-machine",
+        _doc(
+            {("fr", "S=5"): 200_000.0, ("abd", "S=3"): 4e6},
+            legacy_eps=500_000.0,
+        ),
+        False,
+    )
+    # ... but a real 30% drop is still caught on the slow machine.
+    check(
+        "slow-machine-real-drop",
+        _doc(
+            {("fr", "S=5"): 140_000.0, ("abd", "S=3"): 4e6},
+            legacy_eps=500_000.0,
+        ),
+        True,
+    )
+    # Steady-state allocations fail regardless of speed.
+    check(
+        "steady-allocs",
+        _doc({("fr", "S=5"): 4e5, ("abd", "S=3"): 8e6}, steady=3),
+        True,
+    )
+    # Millisecond-scale rows are reported but not hard-gated: at that
+    # duration one scheduler preemption exceeds any threshold.
+    check(
+        "tiny-row-exempt",
+        _doc({("fr", "S=5"): 280_000.0, ("abd", "S=3"): 8e6}, wall_ms=2.0),
+        False,
+    )
+
+    bad = [name for name, ok, _ in checks if not ok]
+    for name, ok, failures in checks:
+        print(
+            "self-test {:<24} {}".format(name, "ok" if ok else "FAILED"),
+            "" if ok else failures,
+        )
+    if bad:
+        print("self-test FAILED:", ", ".join(bad))
+        return 1
+    print("self-test passed ({} cases)".format(len(checks)))
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--artifact", help="fresh BENCH_simcore.json")
+    ap.add_argument("--baseline", help="checked-in baseline artifact")
+    ap.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional drop of normalized events/sec (default 0.25)",
+    )
+    ap.add_argument(
+        "--min-wall-ms",
+        type=float,
+        default=5.0,
+        help="rows faster than this are reported but not gated (default 5)",
+    )
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.artifact or not args.baseline:
+        ap.error("--artifact and --baseline are required (or use --self-test)")
+
+    try:
+        with open(args.artifact) as f:
+            artifact = json.load(f)
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, ValueError) as e:
+        print("bench_trend: cannot load inputs:", e, file=sys.stderr)
+        return 2
+
+    failures, lines = compare(
+        artifact, baseline, args.max_regression, args.min_wall_ms
+    )
+    print(
+        "bench_trend: {} vs {} (max regression {:.0%}, {})".format(
+            args.artifact,
+            args.baseline,
+            args.max_regression,
+            "normalized by in-run calibration"
+            if calibration(artifact) and calibration(baseline)
+            else "raw",
+        )
+    )
+    for line in lines:
+        print(line)
+    if failures:
+        print("\nbench_trend: FAIL")
+        for f in failures:
+            print("  -", f)
+        print(
+            "If this change is a deliberate trade-off, refresh the baseline:\n"
+            "  cmake --build build --target refresh-baseline\n"
+            "and commit bench/baselines/BENCH_simcore.baseline.json."
+        )
+        return 1
+    print("\nbench_trend: OK ({} rows gated)".format(len(collect_rows(baseline))))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,10 +39,18 @@ class ByteWriter {
   void put_tag(const Tag& t);
   void put_value(const TaggedValue& v);
 
+  /// Length-prefixed sequence over a raw (pointer, count) span: the
+  /// pool-aware encode paths hand slices of reusable arenas here so no
+  /// intermediate std::vector is materialized.
+  template <typename T, typename Fn>
+  void put_span(const T* data, std::size_t n, Fn&& put_one) {
+    put_varint(n);
+    for (std::size_t i = 0; i < n; ++i) put_one(*this, data[i]);
+  }
+
   template <typename T, typename Fn>
   void put_vector(const std::vector<T>& v, Fn&& put_one) {
-    put_varint(v.size());
-    for (const T& x : v) put_one(*this, x);
+    put_span(v.data(), v.size(), std::forward<Fn>(put_one));
   }
 
   [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
@@ -77,17 +85,24 @@ class ByteReader {
   Tag get_tag();
   TaggedValue get_value();
 
-  template <typename T, typename Fn>
-  std::vector<T> get_vector(Fn&& get_one) {
+  /// Guarded length prefix. Every element consumes at least one byte, so a
+  /// prefix larger than the bytes actually left is malformed; failing here
+  /// keeps a truncated or hostile prefix from forcing an oversized reserve.
+  /// The streaming decode paths (decode-into-arena, delta-ack apply) read
+  /// their counts through this instead of a raw get_varint.
+  std::uint64_t get_count() {
     const std::uint64_t n = get_varint();
-    std::vector<T> out;
-    // Every element consumes at least one byte, so a length prefix larger
-    // than the bytes actually left is malformed; failing here keeps a
-    // truncated or hostile prefix from forcing an oversized reserve.
     if (n > remaining()) {
       fail();
-      return out;
+      return 0;
     }
+    return n;
+  }
+
+  template <typename T, typename Fn>
+  std::vector<T> get_vector(Fn&& get_one) {
+    const std::uint64_t n = get_count();
+    std::vector<T> out;
     out.reserve(n);
     for (std::uint64_t i = 0; i < n && ok(); ++i) out.push_back(get_one(*this));
     return out;

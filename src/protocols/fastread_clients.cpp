@@ -55,8 +55,7 @@ bool exists_common_subset(const std::vector<std::uint64_t>& sets, int a,
 
 }  // namespace
 
-bool admissible(const TaggedValue& v,
-                const std::vector<std::vector<FrEntry>>& msgs, int a,
+bool admissible(const TaggedValue& v, const std::vector<FrView>& msgs, int a,
                 int num_servers, int max_faulty) {
   // mu must be nonempty (an empty witness set would make everything
   // admissible); in valid configurations S - a*t > t >= 1 anyway.
@@ -64,7 +63,7 @@ bool admissible(const TaggedValue& v,
   // Collect, per message that "has v", the updated set for v as a bitmask.
   std::vector<std::uint64_t> sets;
   sets.reserve(msgs.size());
-  for (const std::vector<FrEntry>& m : msgs) {
+  for (const FrView& m : msgs) {
     for (const FrEntry& e : m) {
       if (e.value == v) {
         std::uint64_t mask = 0;
@@ -80,40 +79,140 @@ bool admissible(const TaggedValue& v,
   return exists_common_subset(sets, a, need);
 }
 
+bool admissible(const TaggedValue& v,
+                const std::vector<std::vector<FrEntry>>& msgs, int a,
+                int num_servers, int max_faulty) {
+  std::vector<FrView> views;
+  views.reserve(msgs.size());
+  for (const std::vector<FrEntry>& m : msgs) {
+    views.push_back(FrView{m.data(), m.size()});
+  }
+  return admissible(v, views, a, num_servers, max_faulty);
+}
+
+TaggedValue FastReader::pick_admissible(
+    const std::vector<TaggedValue>& cands,
+    const std::vector<FrView>& views) const {
+  // Return the largest admissible candidate. Lemma 3 guarantees the loop
+  // terminates: the max of the valQueue we sent is admissible with degree
+  // 1, since every server confirmed it before replying.
+  for (auto it = cands.rbegin(); it != cands.rend(); ++it) {
+    for (int a = 1; a <= cfg().r() + 1; ++a) {
+      if (admissible(*it, views, a, cfg().s(), cfg().t())) return *it;
+    }
+  }
+  // Unreachable in a correct configuration; return bottom defensively.
+  return TaggedValue{};
+}
+
 void FastReader::read(std::function<void(TaggedValue)> done) {
+  if (gc_enabled_) {
+    read_delta(std::move(done));
+  } else {
+    read_full(std::move(done));
+  }
+}
+
+void FastReader::read_full(std::function<void(TaggedValue)> done) {
   std::vector<TaggedValue> queue(val_queue_.begin(), val_queue_.end());
   round_trip(
       kFrReadReq, encode_value_list(pool(), queue),
       [this, done = std::move(done)](const std::vector<ServerReply>& replies) {
-        std::vector<std::vector<FrEntry>> msgs;
-        msgs.reserve(replies.size());
-        for (const ServerReply& r : replies) {
-          msgs.push_back(decode_entries(r.payload));
+        if (reply_arenas_.size() < replies.size()) {
+          reply_arenas_.resize(replies.size());
+        }
+        views_.clear();
+        cand_.clear();
+        for (std::size_t i = 0; i < replies.size(); ++i) {
+          ByteReader br(replies[i].payload);
+          const bool ok = decode_entries_into(br, reply_arenas_[i]);
+          assert(ok && "malformed kFrReadAck");
+          (void)ok;
+          views_.push_back(reply_arenas_[i].view());
         }
         // valQueue <- all values in rcvMsg, union previous queue.
-        std::set<TaggedValue> candidates;
-        for (const auto& m : msgs) {
+        for (const FrView& m : views_) {
           for (const FrEntry& e : m) {
             val_queue_.insert(e.value);
-            candidates.insert(e.value);
+            cand_.push_back(e.value);
           }
         }
-        // Return the largest admissible candidate. Lemma 3 guarantees the
-        // loop terminates: the max of the valQueue we sent is admissible
-        // with degree 1, since every server confirmed it before replying.
-        while (!candidates.empty()) {
-          const TaggedValue v = *candidates.rbegin();
-          for (int a = 1; a <= cfg().r() + 1; ++a) {
-            if (admissible(v, msgs, a, cfg().s(), cfg().t())) {
-              done(v);
-              return;
-            }
-          }
-          candidates.erase(v);
-        }
-        // Unreachable in a correct configuration; return bottom defensively.
-        done(TaggedValue{});
+        std::sort(cand_.begin(), cand_.end());
+        cand_.erase(std::unique(cand_.begin(), cand_.end()), cand_.end());
+        done(pick_admissible(cand_, views_));
       });
+}
+
+void FastReader::read_delta(std::function<void(TaggedValue)> done) {
+  // The pruned valQueue: only the confirmed watermark value. Every server
+  // re-admits and confirms it before replying, which is all Lemma 3 needs;
+  // the tail of the queue below the watermark only re-confirms values this
+  // reader can never return again (DESIGN.md section 6.3).
+  queue_scratch_.clear();
+  queue_scratch_.push_back(watermark_);
+  acked_scratch_.clear();
+  for (const ServerCache& c : caches_) acked_scratch_.push_back(c.rev);
+  ByteWriter w(pool().acquire());
+  encode_delta_read_req_into(w, queue_scratch_, acked_scratch_.data(),
+                             acked_scratch_.size());
+  round_trip(
+      kFrReadDeltaReq, w.take(),
+      [this, done = std::move(done)](const std::vector<ServerReply>& replies) {
+        views_.clear();
+        cand_.clear();
+        for (const ServerReply& r : replies) {
+          ServerCache& cache = caches_[static_cast<std::size_t>(r.server)];
+          const bool ok = apply_delta(cache, r.payload);
+          assert(ok && "malformed kFrReadAckDelta");
+          (void)ok;
+          views_.push_back(FrView{cache.entries.data(), cache.entries.size()});
+        }
+        for (const FrView& m : views_) {
+          for (const FrEntry& e : m) cand_.push_back(e.value);
+        }
+        std::sort(cand_.begin(), cand_.end());
+        cand_.erase(std::unique(cand_.begin(), cand_.end()), cand_.end());
+        const TaggedValue v = pick_admissible(cand_, views_);
+        // valQueue semantics, compressed: the watermark is the max of
+        // everything ever received (>= the value returned below).
+        if (!cand_.empty()) watermark_ = std::max(watermark_, cand_.back());
+        done(v);
+      });
+}
+
+bool FastReader::apply_delta(ServerCache& cache,
+                             const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  const FrDeltaHeader h = get_delta_ack_header(r);
+  if (!r.ok()) return false;
+  // Drop cached entries the server has garbage-collected. They sit
+  // strictly below every reader's watermark, so this reader could never
+  // return them again anyway; dropping keeps the cache O(active values).
+  const auto floor_it = std::lower_bound(
+      cache.entries.begin(), cache.entries.end(), h.gc_floor,
+      [](const FrEntry& e, const Tag& t) { return e.value.tag < t; });
+  cache.entries.erase(cache.entries.begin(), floor_it);
+  // Upsert the changed entries (streamed in ascending tag order).
+  for (std::uint64_t i = 0; i < h.count && r.ok(); ++i) {
+    decode_fr_entry_into(r, entry_scratch_);
+    if (!r.ok()) break;
+    const auto it = std::lower_bound(
+        cache.entries.begin(), cache.entries.end(), entry_scratch_.value.tag,
+        [](const FrEntry& e, const Tag& t) { return e.value.tag < t; });
+    if (it != cache.entries.end() &&
+        it->value.tag == entry_scratch_.value.tag) {
+      it->value = entry_scratch_.value;
+      it->updated = entry_scratch_.updated;  // copy-assign reuses capacity
+    } else {
+      cache.entries.insert(it, entry_scratch_);
+    }
+  }
+  // Only ack a fully applied delta: on a truncated payload the loop above
+  // stopped mid-stream, and acking the server's revision anyway would make
+  // it skip the missed entries forever. Leaving rev untouched means the
+  // next request re-requests everything since the last good ack.
+  if (r.ok()) cache.rev = h.revision;
+  return r.ok();
 }
 
 }  // namespace mwreg

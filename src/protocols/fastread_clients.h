@@ -2,7 +2,14 @@
 //
 //  - FastReader: ONE round-trip read. Sends its valQueue, collects READACKs
 //    from S - t servers, and returns the largest value that is
-//    admissible(v, rcvMsg, a) for some a in [1, R+1].
+//    admissible(v, rcvMsg, a) for some a in [1, R+1]. With gc_enabled it
+//    speaks the incremental protocol instead (kFrReadDeltaReq /
+//    kFrReadAckDelta): it carries its confirmed watermark and per-server
+//    acked revisions, reconstructs each server's valuevector in a
+//    per-server cache, and runs the same admissibility decision over the
+//    reconstructed views — observationally identical to the full-ack
+//    protocol while keeping bytes-on-wire O(active values) (DESIGN.md
+//    section 6).
 //  - QueryThenWriter: the paper's two-round-trip multi-writer write (query
 //    maxTS, then update (maxTS+1, wid)).
 //  - LocalTsFrWriter: single-writer one-round-trip write (Dutta et al. [12]);
@@ -26,26 +33,87 @@ namespace mwreg {
 /// message in mu contains v, |mu| >= S - a*t, and at least `a` clients are in
 /// every chosen message's updated set for v. Equivalently: exists a set T of
 /// `a` clients with T contained in at least S - a*t of v's updated sets.
+/// Messages are non-owning views so hot paths can back them with reusable
+/// arenas or caches.
+bool admissible(const TaggedValue& v, const std::vector<FrView>& msgs, int a,
+                int num_servers, int max_faulty);
+
+/// Convenience overload over owning nested vectors (tests, offline tools).
 bool admissible(const TaggedValue& v,
                 const std::vector<std::vector<FrEntry>>& msgs, int a,
                 int num_servers, int max_faulty);
 
 class FastReader final : public RpcClient, public ReaderApi {
  public:
-  FastReader(NodeId id, Network& net, const ClusterConfig& cfg)
-      : RpcClient(id, net, cfg) {
+  FastReader(NodeId id, Network& net, const ClusterConfig& cfg,
+             bool gc_enabled = false)
+      : RpcClient(id, net, cfg), gc_enabled_(gc_enabled) {
     val_queue_.insert(TaggedValue{});  // (0, bottom)
+    if (gc_enabled_) caches_.resize(static_cast<std::size_t>(cfg.s()));
   }
 
   void read(std::function<void(TaggedValue)> done) override;
 
-  /// Exposed for tests: the reader's accumulated knowledge.
+  /// Exposed for tests: the reader's accumulated knowledge (legacy mode).
   [[nodiscard]] const std::set<TaggedValue>& val_queue() const {
     return val_queue_;
   }
 
+  /// The reader's confirmed watermark: the largest value it has carried on
+  /// a request. Every read completing after that point returns a tag >= it
+  /// (Lemma 3) — the invariant the server-side GC relies on.
+  [[nodiscard]] const TaggedValue& watermark() const { return watermark_; }
+
+  /// Reconstructed valuevector size cached for one server (gc mode).
+  [[nodiscard]] std::size_t cache_size(int server_index) const {
+    return caches_.empty()
+               ? 0
+               : caches_[static_cast<std::size_t>(server_index)].entries.size();
+  }
+
+  /// Arena growth of the legacy decode path; must stop moving after warmup
+  /// (tests/alloc_regression_test.cpp).
+  [[nodiscard]] std::uint64_t decode_arena_grows() const {
+    std::uint64_t total = 0;
+    for (const FrEntryArena& a : reply_arenas_) total += a.grows();
+    return total;
+  }
+
  private:
+  /// Reconstructed view of one server's valuevector (gc mode): the entries
+  /// the server held at its last reply, sorted by tag, plus the reply
+  /// revision the reader acknowledges on its next request.
+  struct ServerCache {
+    std::uint64_t rev = 0;
+    std::vector<FrEntry> entries;
+  };
+
+  void read_full(std::function<void(TaggedValue)> done);
+  void read_delta(std::function<void(TaggedValue)> done);
+
+  /// Apply one kFrReadAckDelta to `cache`; returns false on malformed input.
+  bool apply_delta(ServerCache& cache,
+                   const std::vector<std::uint8_t>& payload);
+
+  /// Largest candidate admissible at some degree a in [1, R+1] — the shared
+  /// decision of both read paths. `cands` must be sorted ascending, unique.
+  TaggedValue pick_admissible(const std::vector<TaggedValue>& cands,
+                              const std::vector<FrView>& views) const;
+
+  bool gc_enabled_ = false;
   std::set<TaggedValue> val_queue_;
+
+  // gc-mode state
+  std::vector<ServerCache> caches_;
+  TaggedValue watermark_{};
+
+  // reusable per-read scratch (both modes)
+  std::vector<FrEntryArena> reply_arenas_;
+  std::vector<FrView> views_;
+  std::vector<TaggedValue> cand_;
+  std::vector<std::uint64_t> acked_scratch_;
+  std::vector<TaggedValue> queue_scratch_;
+  FrEntry entry_scratch_;
 };
 
 class QueryThenWriter final : public RpcClient, public WriterApi {

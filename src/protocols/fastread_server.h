@@ -16,8 +16,19 @@
 // server stores one value and confirms the reader on it when replying).
 // Without this clarification the schedule fuzzer finds MWA2 violations
 // under heavy message reordering; DESIGN.md records the deviation.
+//
+// With Options::gc_enabled the server additionally garbage-collects the
+// valuevector and serves incremental read acks (kFrReadDeltaReq /
+// kFrReadAckDelta): entries strictly below the minimum confirmed watermark
+// any reader has carried on its requests are pruned, and a read ack carries
+// only the entries whose revision is newer than the revision the reader
+// last acknowledged. DESIGN.md section 6 gives the safety argument against
+// Lemmas 5 and 8; with gc_enabled=false the server is bit-exact with the
+// pre-GC implementation (the ablation the benches compare against).
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <map>
 #include <set>
 #include <vector>
@@ -30,17 +41,39 @@ namespace mwreg {
 
 class FastReadServer final : public ServerBase {
  public:
-  /// `confirm_reported = false` reverts to the pseudocode as printed
-  /// (update only the reader's valQueue values): kept for the ablation
-  /// showing the MWA2 violations that motivates the clarification above.
-  explicit FastReadServer(NodeId id, Network& net, const ClusterConfig& cfg,
-                          bool confirm_reported = true)
-      : ServerBase(id, net, cfg), confirm_reported_(confirm_reported) {
-    entries_[kBottomTag];  // valuevector starts with the bottom value
+  struct Options {
+    /// `confirm_reported = false` reverts to the pseudocode as printed
+    /// (update only the reader's valQueue values): kept for the ablation
+    /// showing the MWA2 violations that motivates the clarification above.
+    bool confirm_reported = true;
+    /// Watermark-based valuevector GC + delta read acks (DESIGN.md
+    /// section 6). Off by default: the legacy protocols stay bit-exact.
+    bool gc_enabled = false;
+  };
+
+  FastReadServer(NodeId id, Network& net, const ClusterConfig& cfg)
+      : FastReadServer(id, net, cfg, Options{}) {}
+
+  FastReadServer(NodeId id, Network& net, const ClusterConfig& cfg,
+                 Options opts)
+      : ServerBase(id, net, cfg), opts_(opts) {
+    // valuevector starts with the bottom value; under GC it carries
+    // revision 1 so a reader that has acked nothing (rev 0) receives it.
+    entries_[kBottomTag].rev = ++rev_seq_;
+    watermark_.resize(static_cast<std::size_t>(cfg.total_nodes()));
   }
 
   [[nodiscard]] const TaggedValue& current() const { return vali_; }
   [[nodiscard]] std::size_t valuevector_size() const { return entries_.size(); }
+
+  /// GC observables (zero / bottom while gc_enabled is false).
+  [[nodiscard]] const Tag& gc_floor() const { return gc_floor_; }
+  [[nodiscard]] std::uint64_t entries_pruned() const { return pruned_; }
+  /// Arena growth for the full-snapshot reply path; must stop moving after
+  /// warmup (tests/alloc_regression_test.cpp).
+  [[nodiscard]] std::uint64_t snapshot_arena_grows() const {
+    return snapshot_arena_.grows();
+  }
 
  protected:
   void handle_request(const Message& req) override {
@@ -55,17 +88,19 @@ class FastReadServer final : public ServerBase {
         break;
       }
       case kFrReadReq: {
-        for (const TaggedValue& v : decode_value_list(req.payload)) {
-          update(v, req.src);
-        }
-        // Confirm the reader on every value it is about to receive (see
-        // the header comment: required by Lemmas 5 and 8).
-        if (confirm_reported_) {
-          for (auto& [tag, e] : entries_) e.updated.insert(req.src);
-        }
+        req_queue_ = decode_value_list(req.payload);
+        for (const TaggedValue& v : req_queue_) update(v, req.src);
+        confirm_all(req.src);
+        // A full-ack read carries the same watermark information (the
+        // valQueue maximum), so GC advances on it too — a cluster can mix
+        // delta and full-ack readers.
+        note_watermark(req.src);
         reply(req, kFrReadAck, encode_entries(pool(), snapshot()));
         break;
       }
+      case kFrReadDeltaReq:
+        handle_delta_read(req);
+        break;
       default:
         break;
     }
@@ -75,31 +110,133 @@ class FastReadServer final : public ServerBase {
   struct Entry {
     std::int64_t payload = 0;
     std::set<NodeId> updated;
+    /// Last server revision at which this entry changed (payload set,
+    /// updated-set grew, or entry created). Only meaningful under GC.
+    std::uint64_t rev = 0;
   };
 
   /// Algorithm 2's update(val, c).
   void update(const TaggedValue& val, NodeId c) {
     Entry& e = entries_[val.tag];
-    e.payload = val.payload;
-    e.updated.insert(c);
+    bool changed = e.rev == 0;  // freshly created (GC keeps revs >= 1)
+    if (e.payload != val.payload) {
+      e.payload = val.payload;
+      changed = true;
+    }
+    changed |= e.updated.insert(c).second;
+    if (changed) e.rev = ++rev_seq_;
     if (val.tag > vali_.tag) vali_ = val;
   }
 
-  [[nodiscard]] std::vector<FrEntry> snapshot() const {
-    std::vector<FrEntry> out;
-    out.reserve(entries_.size());
-    for (const auto& [tag, e] : entries_) {
-      FrEntry fe;
-      fe.value = TaggedValue{tag, e.payload};
-      fe.updated.assign(e.updated.begin(), e.updated.end());
-      out.push_back(std::move(fe));
+  /// Confirm the reader on every value it is about to receive (see the
+  /// header comment: required by Lemmas 5 and 8).
+  void confirm_all(NodeId reader) {
+    if (!opts_.confirm_reported) return;
+    for (auto& [tag, e] : entries_) {
+      if (e.updated.insert(reader).second) e.rev = ++rev_seq_;
     }
-    return out;
   }
 
-  bool confirm_reported_ = true;
+  /// The incremental read (Algorithm 2 + GC): record the reader's confirmed
+  /// watermark, re-admit its watermark value, confirm it on every entry,
+  /// advance the GC floor, then reply with only the entries newer than the
+  /// revision the reader acknowledged.
+  void handle_delta_read(const Message& req) {
+    ByteReader r(req.payload);
+    const bool ok = decode_delta_read_req_into(r, req_queue_, req_acks_);
+    assert(ok && "malformed kFrReadDeltaReq");
+    if (!ok) {
+      // Never reached in the simulator (payloads are self-produced), but
+      // dropping the request would deadlock the reader's round: discard
+      // the garbled queue and answer as if nothing were acked, which
+      // resends the full state — always safe.
+      req_queue_.clear();
+      req_acks_.clear();
+    }
+    for (const TaggedValue& v : req_queue_) update(v, req.src);
+    confirm_all(req.src);
+    note_watermark(req.src);
+    const std::size_t self = static_cast<std::size_t>(id());
+    const std::uint64_t acked =
+        self < req_acks_.size() ? req_acks_[self] : 0;
+
+    FrDeltaHeader h;
+    h.revision = rev_seq_;
+    h.gc_floor = gc_floor_;
+    for (const auto& [tag, e] : entries_) h.count += e.rev > acked;
+    ByteWriter w(pool().acquire());
+    put_delta_ack_header(w, h);
+    // Stream changed entries straight out of the map: no snapshot vector.
+    for (const auto& [tag, e] : entries_) {
+      if (e.rev <= acked) continue;
+      w.put_value(TaggedValue{tag, e.payload});
+      w.put_varint(e.updated.size());
+      for (NodeId c : e.updated) w.put_signed(c);
+    }
+    reply(req, kFrReadAckDelta, w.take());
+  }
+
+  /// Record the confirmed watermark a reader carried in `req_queue_` and
+  /// advance the GC floor. No-op unless GC is enabled and `src` is a
+  /// reader.
+  void note_watermark(NodeId src) {
+    if (!opts_.gc_enabled || !cfg().is_reader(src)) return;
+    Tag wm = watermark_[static_cast<std::size_t>(src)];
+    for (const TaggedValue& v : req_queue_) wm = std::max(wm, v.tag);
+    watermark_[static_cast<std::size_t>(src)] = wm;
+    collect_garbage();
+  }
+
+  /// Prune entries strictly below the minimum confirmed watermark across
+  /// all readers. Safety (DESIGN.md section 6.2): no reader can ever again
+  /// return a tag below its own watermark (Lemma 3 lower-bounds every read
+  /// by the max of the valQueue it sent), so nothing below the minimum is
+  /// returnable by anyone and Lemmas 5/8 hold vacuously for pruned tags.
+  void collect_garbage() {
+    Tag floor = watermark_[static_cast<std::size_t>(cfg().reader_id(0))];
+    for (int i = 1; i < cfg().r(); ++i) {
+      const auto slot = static_cast<std::size_t>(cfg().reader_id(i));
+      floor = std::min(floor, watermark_[slot]);
+    }
+    if (gc_floor_ < floor) gc_floor_ = floor;  // floors only advance
+    // Prune below the floor even when it did not just advance: a full-ack
+    // reader re-admits its whole valQueue via update(), and those stale
+    // sub-floor entries must not survive into the reply built next. (In a
+    // pure delta cluster requests only carry watermarks >= the floor, so
+    // this erase finds nothing.) The watermark carrier's value was just
+    // re-admitted, so the map keeps at least the floor entry and vali_
+    // survives.
+    assert(gc_floor_ <= vali_.tag);
+    const auto end = entries_.lower_bound(gc_floor_);
+    for (auto it = entries_.begin(); it != end;) {
+      it = entries_.erase(it);
+      ++pruned_;
+    }
+  }
+
+  [[nodiscard]] FrView snapshot() {
+    snapshot_arena_.reset();
+    for (const auto& [tag, e] : entries_) {
+      FrEntry& fe = snapshot_arena_.append();
+      fe.value = TaggedValue{tag, e.payload};
+      fe.updated.assign(e.updated.begin(), e.updated.end());
+    }
+    return snapshot_arena_.view();
+  }
+
+  Options opts_;
   TaggedValue vali_{};
   std::map<Tag, Entry> entries_;
+  std::uint64_t rev_seq_ = 0;
+  /// Highest confirmed watermark carried on each reader's requests,
+  /// indexed by NodeId (non-reader slots stay bottom).
+  std::vector<Tag> watermark_;
+  Tag gc_floor_{};
+  std::uint64_t pruned_ = 0;
+  FrEntryArena snapshot_arena_;
+  /// Request decode scratch, reused across delta reads.
+  std::vector<TaggedValue> req_queue_;
+  std::vector<std::uint64_t> req_acks_;
 };
 
 }  // namespace mwreg

@@ -37,6 +37,15 @@ enum MsgTypes : MsgType {
   kFrWriteAck = 13,  // server -> writer: ack
   kFrReadReq = 14,   // reader -> server: valQueue
   kFrReadAck = 15,   // server -> reader: value vector with updated sets
+
+  // Incremental fast-read family (Algorithm 2 + GC, DESIGN.md section 6):
+  // the reader carries its confirmed watermark and per-server acked
+  // revisions; the server answers with only the entries that changed since
+  // the acked revision plus its GC floor.
+  kFrReadDeltaReq = 16,  // reader -> server: watermark value + acked revs
+  kFrReadAckDelta = 17,  // server -> reader: revision, gc floor, changed
+                         //   entries (same per-entry wire format as
+                         //   kFrReadAck, so one decoder serves both)
 };
 
 // ---- ABD family payloads ----
@@ -66,6 +75,46 @@ inline TaggedValue decode_value(const std::vector<std::uint8_t>& bytes) {
 struct FrEntry {
   TaggedValue value;
   std::vector<NodeId> updated;  // sorted
+};
+
+/// Non-owning view of a decoded valuevector message (one server's reply).
+/// The admissibility machinery works on views so callers can back them with
+/// reusable arenas or per-server caches instead of fresh nested vectors.
+struct FrView {
+  const FrEntry* data = nullptr;
+  std::size_t size = 0;
+
+  [[nodiscard]] const FrEntry* begin() const { return data; }
+  [[nodiscard]] const FrEntry* end() const { return data + size; }
+};
+
+/// Reusable arena of FrEntry slots. reset() rewinds without destroying the
+/// slots, so every slot's `updated` vector keeps its capacity; once a
+/// workload has warmed the arena, building a snapshot or decoding a read
+/// ack allocates nothing. grows() is the observable the allocation
+/// regression test pins (it must stop moving after warmup).
+class FrEntryArena {
+ public:
+  void reset() { used_ = 0; }
+
+  FrEntry& append() {
+    if (used_ == slots_.size()) {
+      slots_.emplace_back();
+      ++grows_;
+    }
+    FrEntry& e = slots_[used_++];
+    e.updated.clear();  // keeps capacity
+    return e;
+  }
+
+  [[nodiscard]] std::size_t size() const { return used_; }
+  [[nodiscard]] FrView view() const { return FrView{slots_.data(), used_}; }
+  [[nodiscard]] std::uint64_t grows() const { return grows_; }
+
+ private:
+  std::vector<FrEntry> slots_;
+  std::size_t used_ = 0;
+  std::uint64_t grows_ = 0;
 };
 
 inline std::vector<std::uint8_t> encode_tag(BufferPool& pool, const Tag& t) {
@@ -112,20 +161,32 @@ inline std::vector<TaggedValue> decode_value_list(
       [](ByteReader& br) { return br.get_value(); });
 }
 
+inline void put_fr_entry(ByteWriter& w, const FrEntry& e) {
+  w.put_value(e.value);
+  w.put_vector(e.updated,
+               [](ByteWriter& bw, NodeId id) { bw.put_signed(id); });
+}
+
+inline void encode_entries_into(ByteWriter& w, FrView entries) {
+  w.put_span(entries.data, entries.size,
+             [](ByteWriter& bw, const FrEntry& e) { put_fr_entry(bw, e); });
+}
+
 inline void encode_entries_into(ByteWriter& w,
                                 const std::vector<FrEntry>& entries) {
-  w.put_vector(entries, [](ByteWriter& bw, const FrEntry& e) {
-    bw.put_value(e.value);
-    bw.put_vector(e.updated,
-                  [](ByteWriter& bw2, NodeId id) { bw2.put_signed(id); });
-  });
+  encode_entries_into(w, FrView{entries.data(), entries.size()});
+}
+
+inline std::vector<std::uint8_t> encode_entries(BufferPool& pool,
+                                                FrView entries) {
+  ByteWriter w(pool.acquire());
+  encode_entries_into(w, entries);
+  return w.take();
 }
 
 inline std::vector<std::uint8_t> encode_entries(
     BufferPool& pool, const std::vector<FrEntry>& entries) {
-  ByteWriter w(pool.acquire());
-  encode_entries_into(w, entries);
-  return w.take();
+  return encode_entries(pool, FrView{entries.data(), entries.size()});
 }
 
 inline std::vector<std::uint8_t> encode_entries(
@@ -135,16 +196,99 @@ inline std::vector<std::uint8_t> encode_entries(
   return w.take();
 }
 
+/// Streaming per-entry decode into a caller-owned slot; shared by the full
+/// read-ack and delta read-ack decoders (identical per-entry wire format).
+inline void decode_fr_entry_into(ByteReader& r, FrEntry& e) {
+  e.value = r.get_value();
+  e.updated.clear();
+  const std::uint64_t n = r.get_count();
+  e.updated.reserve(n);
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    e.updated.push_back(static_cast<NodeId>(r.get_signed()));
+  }
+}
+
+/// Decode a full read ack into a reusable arena (no fresh nested vectors).
+/// Returns reader.ok(); on malformed input the arena holds the prefix that
+/// decoded cleanly.
+inline bool decode_entries_into(ByteReader& r, FrEntryArena& out) {
+  out.reset();
+  const std::uint64_t n = r.get_count();
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    decode_fr_entry_into(r, out.append());
+  }
+  return r.ok();
+}
+
 inline std::vector<FrEntry> decode_entries(
     const std::vector<std::uint8_t>& bytes) {
   ByteReader r(bytes);
   return r.get_vector<FrEntry>([](ByteReader& br) {
     FrEntry e;
-    e.value = br.get_value();
-    e.updated = br.get_vector<NodeId>(
-        [](ByteReader& br2) { return static_cast<NodeId>(br2.get_signed()); });
+    decode_fr_entry_into(br, e);
     return e;
   });
+}
+
+// ---- incremental fast-read payloads (Algorithm 2 + GC) ----
+
+/// kFrReadDeltaReq: the reader's pruned valQueue (its confirmed watermark
+/// value — the tail of the queue below the watermark carries no information
+/// any server still needs, DESIGN.md section 6.3) plus, per server id, the
+/// last reply revision the reader has applied from that server. One payload
+/// is broadcast to every server; server s indexes acked_revs[s].
+inline void encode_delta_read_req_into(ByteWriter& w,
+                                       const std::vector<TaggedValue>& queue,
+                                       const std::uint64_t* acked_revs,
+                                       std::size_t num_servers) {
+  encode_value_list_into(w, queue);
+  w.put_span(acked_revs, num_servers,
+             [](ByteWriter& bw, std::uint64_t rev) { bw.put_varint(rev); });
+}
+
+/// Decode into reusable buffers (cleared, capacity kept).
+inline bool decode_delta_read_req_into(ByteReader& r,
+                                       std::vector<TaggedValue>& queue,
+                                       std::vector<std::uint64_t>& acked_revs) {
+  queue.clear();
+  acked_revs.clear();
+  const std::uint64_t nq = r.get_count();
+  queue.reserve(nq);
+  for (std::uint64_t i = 0; i < nq && r.ok(); ++i) {
+    queue.push_back(r.get_value());
+  }
+  const std::uint64_t na = r.get_count();
+  acked_revs.reserve(na);
+  for (std::uint64_t i = 0; i < na && r.ok(); ++i) {
+    acked_revs.push_back(r.get_varint());
+  }
+  return r.ok();
+}
+
+/// kFrReadAckDelta header: the server's current revision (what the reader
+/// acks next time), its GC floor (the reader drops cached entries strictly
+/// below it), and the count of changed entries that follow. Entries are
+/// streamed with put_fr_entry / decode_fr_entry_into — the server encodes
+/// straight out of its valuevector map, the reader applies straight into
+/// its per-server cache; neither side materializes an entry list.
+struct FrDeltaHeader {
+  std::uint64_t revision = 0;
+  Tag gc_floor{};
+  std::uint64_t count = 0;
+};
+
+inline void put_delta_ack_header(ByteWriter& w, const FrDeltaHeader& h) {
+  w.put_varint(h.revision);
+  w.put_tag(h.gc_floor);
+  w.put_varint(h.count);
+}
+
+inline FrDeltaHeader get_delta_ack_header(ByteReader& r) {
+  FrDeltaHeader h;
+  h.revision = r.get_varint();
+  h.gc_floor = r.get_tag();
+  h.count = r.get_count();
+  return h;
 }
 
 }  // namespace mwreg

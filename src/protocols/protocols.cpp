@@ -67,12 +67,30 @@ std::unique_ptr<ReaderApi> FastReadMwProtocol::make_reader(
   return std::make_unique<FastReader>(id, net, cfg);
 }
 
+// ---- GcFastReadMw (W2R1 with valuevector GC + delta read acks) ----
+
+std::unique_ptr<Process> GcFastReadMwProtocol::make_server(
+    NodeId id, Network& net, const ClusterConfig& cfg) const {
+  FastReadServer::Options o;
+  o.gc_enabled = true;
+  return std::make_unique<FastReadServer>(id, net, cfg, o);
+}
+std::unique_ptr<WriterApi> GcFastReadMwProtocol::make_writer(
+    NodeId id, Network& net, const ClusterConfig& cfg) const {
+  return std::make_unique<QueryThenWriter>(id, net, cfg);
+}
+std::unique_ptr<ReaderApi> GcFastReadMwProtocol::make_reader(
+    NodeId id, Network& net, const ClusterConfig& cfg) const {
+  return std::make_unique<FastReader>(id, net, cfg, /*gc_enabled=*/true);
+}
+
 // ---- LiteralFastReadMw (pseudocode-as-printed ablation) ----
 
 std::unique_ptr<Process> LiteralFastReadMwProtocol::make_server(
     NodeId id, Network& net, const ClusterConfig& cfg) const {
-  return std::make_unique<FastReadServer>(id, net, cfg,
-                                          /*confirm_reported=*/false);
+  FastReadServer::Options o;
+  o.confirm_reported = false;
+  return std::make_unique<FastReadServer>(id, net, cfg, o);
 }
 std::unique_ptr<WriterApi> LiteralFastReadMwProtocol::make_writer(
     NodeId id, Network& net, const ClusterConfig& cfg) const {
@@ -120,12 +138,13 @@ std::vector<const Protocol*> all_protocols() {
   static const AbdSwmrProtocol abd_swmr;
   static const NaiveFastWriteProtocol naive;
   static const FastReadMwProtocol fast_read;
+  static const GcFastReadMwProtocol fast_read_gc;
   static const FastSwmrProtocol fast_swmr;
   static const RegularFastReadProtocol regular_fast;
   static const LiteralFastReadMwProtocol literal_fast_read;
   return {&mw_abd,    &abd_swmr,     &naive,
-          &fast_read, &fast_swmr,    &regular_fast,
-          &literal_fast_read};
+          &fast_read, &fast_read_gc, &fast_swmr,
+          &regular_fast, &literal_fast_read};
 }
 
 const Protocol* protocol_by_name(const std::string& name) {

@@ -27,12 +27,12 @@ class MwAbdProtocol final : public Protocol {
   bool guarantees_atomicity(const ClusterConfig& cfg) const override {
     return cfg.supports_w2r2();
   }
-  std::unique_ptr<Process> make_server(NodeId id, Network& net,
-                                       const ClusterConfig& cfg) const override;
-  std::unique_ptr<WriterApi> make_writer(NodeId id, Network& net,
-                                         const ClusterConfig& cfg) const override;
-  std::unique_ptr<ReaderApi> make_reader(NodeId id, Network& net,
-                                         const ClusterConfig& cfg) const override;
+  std::unique_ptr<Process> make_server(
+      NodeId id, Network& net, const ClusterConfig& cfg) const override;
+  std::unique_ptr<WriterApi> make_writer(
+      NodeId id, Network& net, const ClusterConfig& cfg) const override;
+  std::unique_ptr<ReaderApi> make_reader(
+      NodeId id, Network& net, const ClusterConfig& cfg) const override;
 };
 
 class AbdSwmrProtocol final : public Protocol {
@@ -43,12 +43,12 @@ class AbdSwmrProtocol final : public Protocol {
   bool guarantees_atomicity(const ClusterConfig& cfg) const override {
     return cfg.w() == 1 && cfg.supports_w2r2();
   }
-  std::unique_ptr<Process> make_server(NodeId id, Network& net,
-                                       const ClusterConfig& cfg) const override;
-  std::unique_ptr<WriterApi> make_writer(NodeId id, Network& net,
-                                         const ClusterConfig& cfg) const override;
-  std::unique_ptr<ReaderApi> make_reader(NodeId id, Network& net,
-                                         const ClusterConfig& cfg) const override;
+  std::unique_ptr<Process> make_server(
+      NodeId id, Network& net, const ClusterConfig& cfg) const override;
+  std::unique_ptr<WriterApi> make_writer(
+      NodeId id, Network& net, const ClusterConfig& cfg) const override;
+  std::unique_ptr<ReaderApi> make_reader(
+      NodeId id, Network& net, const ClusterConfig& cfg) const override;
 };
 
 class NaiveFastWriteProtocol final : public Protocol {
@@ -60,12 +60,12 @@ class NaiveFastWriteProtocol final : public Protocol {
     // Theorem 1: no W1R2 implementation exists for W>=2, R>=2, t>=1.
     return cfg.w() == 1 && cfg.supports_w2r2();
   }
-  std::unique_ptr<Process> make_server(NodeId id, Network& net,
-                                       const ClusterConfig& cfg) const override;
-  std::unique_ptr<WriterApi> make_writer(NodeId id, Network& net,
-                                         const ClusterConfig& cfg) const override;
-  std::unique_ptr<ReaderApi> make_reader(NodeId id, Network& net,
-                                         const ClusterConfig& cfg) const override;
+  std::unique_ptr<Process> make_server(
+      NodeId id, Network& net, const ClusterConfig& cfg) const override;
+  std::unique_ptr<WriterApi> make_writer(
+      NodeId id, Network& net, const ClusterConfig& cfg) const override;
+  std::unique_ptr<ReaderApi> make_reader(
+      NodeId id, Network& net, const ClusterConfig& cfg) const override;
 };
 
 class FastReadMwProtocol final : public Protocol {
@@ -76,12 +76,38 @@ class FastReadMwProtocol final : public Protocol {
   bool guarantees_atomicity(const ClusterConfig& cfg) const override {
     return cfg.supports_fast_read();
   }
-  std::unique_ptr<Process> make_server(NodeId id, Network& net,
-                                       const ClusterConfig& cfg) const override;
-  std::unique_ptr<WriterApi> make_writer(NodeId id, Network& net,
-                                         const ClusterConfig& cfg) const override;
-  std::unique_ptr<ReaderApi> make_reader(NodeId id, Network& net,
-                                         const ClusterConfig& cfg) const override;
+  std::unique_ptr<Process> make_server(
+      NodeId id, Network& net, const ClusterConfig& cfg) const override;
+  std::unique_ptr<WriterApi> make_writer(
+      NodeId id, Network& net, const ClusterConfig& cfg) const override;
+  std::unique_ptr<ReaderApi> make_reader(
+      NodeId id, Network& net, const ClusterConfig& cfg) const override;
+};
+
+/// Algorithm 1 & 2 plus valuevector garbage collection and incremental
+/// (delta) read acks: servers prune entries strictly below the minimum
+/// confirmed reader watermark and send only entries newer than the
+/// revision the reader acknowledged (DESIGN.md section 6). Observationally
+/// identical to FastReadMwProtocol — same messages counts, same returned
+/// values, same verdicts (tests/gc_safety_test.cpp pins this) — while
+/// server memory and read-ack bytes stay O(active values) instead of
+/// O(all writes ever). The separate registry name makes the GC toggle a
+/// sweep axis: exp::cell_digest keys on the protocol name, so GC-on and
+/// GC-off cells never share RNG streams.
+class GcFastReadMwProtocol final : public Protocol {
+ public:
+  std::string name() const override { return "fast-read-mw-gc(W2R1)"; }
+  int write_round_trips() const override { return 2; }
+  int read_round_trips() const override { return 1; }
+  bool guarantees_atomicity(const ClusterConfig& cfg) const override {
+    return cfg.supports_fast_read();
+  }
+  std::unique_ptr<Process> make_server(
+      NodeId id, Network& net, const ClusterConfig& cfg) const override;
+  std::unique_ptr<WriterApi> make_writer(
+      NodeId id, Network& net, const ClusterConfig& cfg) const override;
+  std::unique_ptr<ReaderApi> make_reader(
+      NodeId id, Network& net, const ClusterConfig& cfg) const override;
 };
 
 /// Algorithm 1 & 2 with the server EXACTLY as printed in the paper (no
@@ -97,12 +123,12 @@ class LiteralFastReadMwProtocol final : public Protocol {
   bool guarantees_atomicity(const ClusterConfig&) const override {
     return false;  // the ablation shows why
   }
-  std::unique_ptr<Process> make_server(NodeId id, Network& net,
-                                       const ClusterConfig& cfg) const override;
-  std::unique_ptr<WriterApi> make_writer(NodeId id, Network& net,
-                                         const ClusterConfig& cfg) const override;
-  std::unique_ptr<ReaderApi> make_reader(NodeId id, Network& net,
-                                         const ClusterConfig& cfg) const override;
+  std::unique_ptr<Process> make_server(
+      NodeId id, Network& net, const ClusterConfig& cfg) const override;
+  std::unique_ptr<WriterApi> make_writer(
+      NodeId id, Network& net, const ClusterConfig& cfg) const override;
+  std::unique_ptr<ReaderApi> make_reader(
+      NodeId id, Network& net, const ClusterConfig& cfg) const override;
 };
 
 /// W2R1 with a plain max-of-quorum read and no admissibility machinery: the
@@ -117,12 +143,12 @@ class RegularFastReadProtocol final : public Protocol {
   bool guarantees_atomicity(const ClusterConfig&) const override {
     return false;  // regular only
   }
-  std::unique_ptr<Process> make_server(NodeId id, Network& net,
-                                       const ClusterConfig& cfg) const override;
-  std::unique_ptr<WriterApi> make_writer(NodeId id, Network& net,
-                                         const ClusterConfig& cfg) const override;
-  std::unique_ptr<ReaderApi> make_reader(NodeId id, Network& net,
-                                         const ClusterConfig& cfg) const override;
+  std::unique_ptr<Process> make_server(
+      NodeId id, Network& net, const ClusterConfig& cfg) const override;
+  std::unique_ptr<WriterApi> make_writer(
+      NodeId id, Network& net, const ClusterConfig& cfg) const override;
+  std::unique_ptr<ReaderApi> make_reader(
+      NodeId id, Network& net, const ClusterConfig& cfg) const override;
 };
 
 class FastSwmrProtocol final : public Protocol {
@@ -133,12 +159,12 @@ class FastSwmrProtocol final : public Protocol {
   bool guarantees_atomicity(const ClusterConfig& cfg) const override {
     return cfg.w() == 1 && cfg.supports_fast_read();
   }
-  std::unique_ptr<Process> make_server(NodeId id, Network& net,
-                                       const ClusterConfig& cfg) const override;
-  std::unique_ptr<WriterApi> make_writer(NodeId id, Network& net,
-                                         const ClusterConfig& cfg) const override;
-  std::unique_ptr<ReaderApi> make_reader(NodeId id, Network& net,
-                                         const ClusterConfig& cfg) const override;
+  std::unique_ptr<Process> make_server(
+      NodeId id, Network& net, const ClusterConfig& cfg) const override;
+  std::unique_ptr<WriterApi> make_writer(
+      NodeId id, Network& net, const ClusterConfig& cfg) const override;
+  std::unique_ptr<ReaderApi> make_reader(
+      NodeId id, Network& net, const ClusterConfig& cfg) const override;
 };
 
 /// All protocols, for benches and examples that sweep the design space.

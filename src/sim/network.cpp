@@ -20,6 +20,7 @@ void Network::discard(Message&& m) { pool_.release(std::move(m.payload)); }
 
 void Network::send(Message m) {
   ++stats_.sent;
+  stats_.bytes_sent += m.payload.size();
   if (crashed(m.src)) {  // a crashed node sends nothing
     ++stats_.from_crashed;
     discard(std::move(m));

@@ -37,6 +37,7 @@ class Process;
 /// asserts this across fault scenarios.
 struct NetworkStats {
   std::uint64_t sent = 0;
+  std::uint64_t bytes_sent = 0;  ///< payload bytes across all sent messages
   std::uint64_t delivered = 0;
   std::uint64_t held = 0;         ///< currently parked on blocked links
   std::uint64_t to_crashed = 0;   ///< dropped because dst crashed

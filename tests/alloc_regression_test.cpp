@@ -15,6 +15,8 @@
 
 #include "core/harness.h"
 #include "core/workload.h"
+#include "protocols/fastread_clients.h"
+#include "protocols/fastread_server.h"
 #include "protocols/protocols.h"
 #include "sim/buffer_pool.h"
 
@@ -69,6 +71,118 @@ TEST(AllocRegression, SteadyStateW2R1WorkloadAllocatesNothing) {
       << "a payload buffer was allocated fresh after warmup";
   // The burst really did run traffic through the pool.
   EXPECT_GT(h.net().pool().stats().acquired, pool_warm.acquired);
+}
+
+TEST(AllocRegression, GcProtocolSteadyStateAllocatesNothingFromEngineOrPool) {
+  // Same invariant as above for the GC+delta protocol: bounded read acks
+  // mean the payload pool's ratcheted capacities cover steady state too.
+  const Protocol* proto = protocol_by_name("fast-read-mw-gc(W2R1)");
+  ASSERT_NE(proto, nullptr);
+  SimHarness::Options o;
+  o.cfg = ClusterConfig{5, 2, 1, 1};
+  o.seed = 42;
+  o.delay = std::make_unique<UniformDelay>(kMillisecond, 10 * kMillisecond);
+  SimHarness h(*proto, std::move(o));
+
+  WorkloadOptions w;
+  w.ops_per_writer = 60;
+  w.ops_per_reader = 60;
+  run_random_workload(h, w);
+
+  const std::uint64_t engine_allocs = h.sim().allocations();
+  const BufferPool::Stats pool_warm = h.net().pool().stats();
+  run_closed_loop_burst(h, 80);
+
+  EXPECT_EQ(h.sim().allocations() - engine_allocs, 0u);
+  EXPECT_EQ(h.net().pool().stats().misses - pool_warm.misses, 0u);
+  EXPECT_GT(h.net().pool().stats().acquired, pool_warm.acquired);
+}
+
+TEST(AllocRegression, ReadAckScratchArenasStopGrowingAfterWarmup) {
+  // The reply paths must not rebuild nested vectors per read ack: the
+  // server snapshots into a reusable arena and the reader decodes into
+  // reusable arenas. Arena grows() counts slot allocations; they can only
+  // stop moving when the entry count is bounded, so the cluster mixes GC
+  // servers with one full-ack (legacy-path) reader and one delta reader:
+  // the full-ack reader drives snapshot() and decode_entries_into over a
+  // GC-bounded valuevector, the delta reader keeps its side of the
+  // machinery warm, and both carry watermarks that advance the floor. A
+  // hand-wired cluster exposes the concrete types.
+  const ClusterConfig cfg{5, 2, 2, 1};
+  Simulator sim;
+  Network net(sim, std::make_unique<ConstantDelay>(kMillisecond), Rng(3));
+  FastReadServer::Options so;
+  so.gc_enabled = true;
+  std::vector<std::unique_ptr<FastReadServer>> servers;
+  for (NodeId s : cfg.server_ids()) {
+    servers.push_back(std::make_unique<FastReadServer>(s, net, cfg, so));
+  }
+  QueryThenWriter writer(cfg.writer_id(0), net, cfg);
+  FastReader full_reader(cfg.reader_id(0), net, cfg, /*gc_enabled=*/false);
+  FastReader delta_reader(cfg.reader_id(1), net, cfg, /*gc_enabled=*/true);
+  auto cycle = [&](int ops) {
+    for (int i = 0; i < ops; ++i) {
+      writer.write(1000 + i, [](Tag) {});
+      sim.run();
+      full_reader.read([](TaggedValue) {});
+      sim.run();
+      delta_reader.read([](TaggedValue) {});
+      sim.run();
+    }
+  };
+  cycle(40);  // warmup: arenas and caches reach their working-set size
+
+  // Sanity: the mixed cluster really is GC'd and both ack paths ran.
+  for (const auto& s : servers) {
+    ASSERT_GT(s->entries_pruned(), 0u);
+    ASSERT_LE(s->valuevector_size(), 8u);
+  }
+  ASSERT_GT(full_reader.decode_arena_grows(), 0u);
+
+  std::uint64_t server_grows = 0;
+  for (const auto& s : servers) server_grows += s->snapshot_arena_grows();
+  const std::uint64_t reader_grows = full_reader.decode_arena_grows();
+
+  cycle(60);  // steady state
+
+  std::uint64_t server_grows2 = 0;
+  for (const auto& s : servers) server_grows2 += s->snapshot_arena_grows();
+  EXPECT_EQ(server_grows2 - server_grows, 0u)
+      << "a server rebuilt snapshot slots after warmup";
+  EXPECT_EQ(full_reader.decode_arena_grows() - reader_grows, 0u)
+      << "a reader rebuilt decode slots after warmup";
+}
+
+TEST(AllocRegression, LegacySnapshotArenaReusesSlotsAcrossReads) {
+  // The full-ack path shares the same arenas: its valuevector grows with
+  // every write, but between writes repeated reads must reuse the slots
+  // (grows() moves only when the entry count itself grows).
+  const ClusterConfig cfg{5, 2, 2, 1};
+  Simulator sim;
+  Network net(sim, std::make_unique<ConstantDelay>(kMillisecond), Rng(4));
+  std::vector<std::unique_ptr<FastReadServer>> servers;
+  for (NodeId s : cfg.server_ids()) {
+    servers.push_back(std::make_unique<FastReadServer>(s, net, cfg));
+  }
+  QueryThenWriter writer(cfg.writer_id(0), net, cfg);
+  FastReader reader(cfg.reader_id(0), net, cfg);
+  for (int i = 0; i < 10; ++i) {
+    writer.write(i, [](Tag) {});
+    sim.run();
+  }
+  reader.read([](TaggedValue) {});
+  sim.run();
+  std::uint64_t grows = 0;
+  for (const auto& s : servers) grows += s->snapshot_arena_grows();
+  grows += reader.decode_arena_grows();
+  for (int i = 0; i < 20; ++i) {  // reads only: the valuevector is static
+    reader.read([](TaggedValue) {});
+    sim.run();
+  }
+  std::uint64_t grows2 = 0;
+  for (const auto& s : servers) grows2 += s->snapshot_arena_grows();
+  grows2 += reader.decode_arena_grows();
+  EXPECT_EQ(grows2 - grows, 0u);
 }
 
 TEST(AllocRegression, DeliveryClosureFitsTheInlineEventBudget) {

@@ -126,6 +126,80 @@ TEST(CodecGuard, NestedListLengthCappedByRemainingBytes) {
   EXPECT_TRUE(entries.empty() || entries[0].updated.size() <= bytes.size());
 }
 
+// ---- incremental fast-read payloads (kFrReadDeltaReq / kFrReadAckDelta) ----
+
+TEST(DeltaCodec, ReadReqRoundTripsThroughReusableBuffers) {
+  const std::vector<TaggedValue> queue = {TaggedValue{Tag{7, 1}, 70}};
+  const std::uint64_t acked[] = {3, 0, 12, 5, 1};
+  ByteWriter w;
+  encode_delta_read_req_into(w, queue, acked, 5);
+  const std::vector<std::uint8_t> bytes = w.bytes();
+
+  // Decode twice into the same scratch buffers (capacity reuse path).
+  std::vector<TaggedValue> out_queue{TaggedValue{Tag{99, 9}, 1}};
+  std::vector<std::uint64_t> out_acked{42};
+  for (int round = 0; round < 2; ++round) {
+    ByteReader r(bytes);
+    ASSERT_TRUE(decode_delta_read_req_into(r, out_queue, out_acked));
+    EXPECT_TRUE(r.exhausted());
+    ASSERT_EQ(out_queue.size(), 1u);
+    EXPECT_EQ(out_queue[0], queue[0]);
+    ASSERT_EQ(out_acked.size(), 5u);
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(out_acked[i], acked[i]);
+  }
+}
+
+TEST(DeltaCodec, AckHeaderAndStreamedEntriesRoundTrip) {
+  FrDeltaHeader h;
+  h.revision = 901;
+  h.gc_floor = Tag{5, 2};
+  h.count = 2;
+  FrEntry a;
+  a.value = TaggedValue{Tag{5, 2}, 52};
+  a.updated = {0, 3, 7};
+  FrEntry b;
+  b.value = TaggedValue{Tag{6, 0}, 60};
+  b.updated = {1};
+  ByteWriter w;
+  put_delta_ack_header(w, h);
+  put_fr_entry(w, a);
+  put_fr_entry(w, b);
+  const std::vector<std::uint8_t> bytes = w.bytes();
+
+  ByteReader r(bytes);
+  const FrDeltaHeader got = get_delta_ack_header(r);
+  EXPECT_EQ(got.revision, h.revision);
+  EXPECT_EQ(got.gc_floor, h.gc_floor);
+  ASSERT_EQ(got.count, 2u);
+  FrEntry e;
+  decode_fr_entry_into(r, e);
+  EXPECT_EQ(e.value, a.value);
+  EXPECT_EQ(e.updated, a.updated);
+  decode_fr_entry_into(r, e);
+  EXPECT_EQ(e.value, b.value);
+  EXPECT_EQ(e.updated, b.updated);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(DeltaCodec, RandomBytesAndTruncationsFailCleanly) {
+  Rng rng(77);
+  std::vector<TaggedValue> queue;
+  std::vector<std::uint64_t> acked;
+  for (int iter = 0; iter < 300; ++iter) {
+    const auto bytes = random_bytes(rng, rng.next_below(96));
+    ByteReader r1(bytes);
+    (void)decode_delta_read_req_into(r1, queue, acked);
+    EXPECT_LE(queue.size(), bytes.size() + 2);
+    EXPECT_LE(acked.size(), bytes.size() + 2);
+    ByteReader r2(bytes);
+    const FrDeltaHeader h = get_delta_ack_header(r2);
+    // The entry-count prefix is validated against the bytes remaining, so
+    // a hostile header cannot force an oversized loop downstream.
+    EXPECT_LE(h.count, bytes.size() + 2);
+  }
+}
+
 // A reader over a raw (pointer, length) span behaves identically to one
 // over the owning vector — the decode path never copies payload bytes.
 TEST(CodecSpan, SpanReaderMatchesVectorReader) {

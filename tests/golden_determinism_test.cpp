@@ -88,6 +88,22 @@ TEST(GoldenDeterminism, ThreadCountDoesNotChangeTheDigest) {
   EXPECT_EQ(digest_results(pooled.run(spec)), kGoldenBatchDigest);
 }
 
+TEST(GoldenDeterminism, GcProtocolDigestIsThreadCountInvariant) {
+  // The GC'd fast-read protocol has no golden constant (it post-dates the
+  // engine refactor), but its digests must be equally deterministic: the
+  // same spec at 1 and 4 runner threads is bit-identical, and repeats are
+  // stable. Watermarks, revisions, and the GC floor are all per-harness
+  // state, so thread scheduling must not leak into results.
+  ExperimentSpec spec = golden_spec();
+  spec.protocols = {"fast-read-mw-gc(W2R1)"};
+  spec.clusters = {ClusterConfig{5, 2, 1, 1}, ClusterConfig{7, 2, 3, 1}};
+  Runner serial(Runner::Options{1});
+  Runner pooled(Runner::Options{4});
+  const std::uint64_t serial_digest = digest_results(serial.run(spec));
+  EXPECT_EQ(serial_digest, digest_results(pooled.run(spec)));
+  EXPECT_EQ(serial_digest, digest_results(pooled.run(spec)));
+}
+
 TEST(GoldenDeterminism, FaultFreeCellDigestsUnchanged) {
   EXPECT_EQ(cell_digest("mw-abd(W2R2)", ClusterConfig{5, 2, 1, 1}),
             kGoldenCellDigestMwAbd521);
