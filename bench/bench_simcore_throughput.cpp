@@ -28,16 +28,29 @@
 //        "steady_engine_allocs": <uint>, // both deltas over a post-warmup
 //        "steady_pool_misses": <uint>}   //   burst; 0 = allocation-free
 //     ],
+//     "million_client": [               // table-driven keyspace runs
+//       {"protocol": <s>, "keyspace": <s>,
+//        "clients": <int>, "ops_per_client": <int>,
+//        "events": <uint>, "msgs": <uint>, "wall_ms": <f>,
+//        "events_per_sec": <f>,
+//        "write_p99_ms": <f>, "read_p99_ms": <f>,    // pooled across keys
+//        "per_key_read_p99_max_ms": <f>,             // worst single key
+//        "steady_engine_allocs": <uint>,             // post-warmup deltas;
+//        "steady_pool_misses": <uint>}               //   0 = allocation-free
+//     ],
 //     "valuevector": [                  // long-horizon GC rows (schema in
 //       ...                            //   bench/valuevector_rows.h):
 //     ]                                //   bytes-on-wire + windowed
 //   }                                  //   read-ack sizes, GC vs. ablation
 //
-// Schema v2 adds bytes_on_wire to workload rows and the "valuevector"
+// Schema v2 added bytes_on_wire to workload rows and the "valuevector"
 // section (the GC+delta protocol vs. its gc_enabled=false ablation on
-// long-horizon W2R1/W4R4 runs). Compare runs by diffing events_per_sec per
-// row and the engine_comparison speedup; steady_* columns must stay 0 —
-// or let scripts/bench_trend.py do it against bench/baselines/.
+// long-horizon W2R1/W4R4 runs). Schema v3 adds the "million_client"
+// section: 10^5- and 10^6-op closed loops through ONE harness hosting
+// 10^4/10^5 table-driven clients over a 64-key Zipfian keyspace. Compare
+// runs by diffing events_per_sec per row and the engine_comparison
+// speedup; steady_* columns must stay 0 — or let scripts/bench_trend.py
+// do it against bench/baselines/.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -301,6 +314,80 @@ WorkloadRow run_workload(const std::string& protocol, const ClusterConfig& cfg,
   return row;
 }
 
+// ---- million-client keyspace rows ----
+
+/// One table-driven keyspace run: `clients` closed-loop clients (half
+/// writers, half readers) over a 64-key, 8-shard Zipfian keyspace in a
+/// single harness. ops_per_client * clients is the op count: 10^5 and 10^6
+/// at the two grid points.
+struct MillionRow {
+  int clients = 0;
+  int ops_per_client = 0;
+  std::string protocol;
+  std::string keyspace;
+  std::uint64_t events = 0;
+  std::uint64_t msgs = 0;
+  double wall_ms = 0;
+  double write_p99_ms = 0;          ///< pooled across keys
+  double read_p99_ms = 0;           ///< pooled across keys
+  double per_key_read_p99_max_ms = 0;  ///< worst single key
+  std::uint64_t steady_engine_allocs = 0;
+  std::uint64_t steady_pool_misses = 0;
+
+  [[nodiscard]] double events_per_sec() const {
+    return wall_ms > 0 ? static_cast<double>(events) / (wall_ms / 1e3) : 0;
+  }
+};
+
+MillionRow run_million_client(int clients, int ops_per_client) {
+  const Protocol* p = protocol_by_name("mw-abd(W2R2)");
+  SimHarness::Options o;
+  o.cfg = ClusterConfig{5, clients / 2, clients - clients / 2, 1};
+  o.keyspace = KeyspaceConfig{64, 8, 0.99};
+  o.seed = 42;
+  o.delay = std::make_unique<UniformDelay>(kMillisecond, 10 * kMillisecond);
+  SimHarness h(*p, std::move(o));
+
+  MillionRow row;
+  row.clients = clients;
+  row.ops_per_client = ops_per_client;
+  row.protocol = "mw-abd(W2R2)";
+  row.keyspace = h.keyspace().to_string();
+
+  WorkloadOptions w;
+  w.ops_per_writer = ops_per_client;
+  w.ops_per_reader = ops_per_client;
+  const auto t0 = std::chrono::steady_clock::now();
+  run_keyspace_workload(h, w);
+  row.wall_ms = seconds_since(t0) * 1e3;
+  row.events = h.sim().executed();
+  row.msgs = h.net().stats().sent;
+
+  std::vector<double> writes, reads;
+  for (int k = 0; k < h.num_keys(); ++k) {
+    std::vector<double> kw = latency_samples_ms(h.key_history(k), OpKind::kWrite);
+    std::vector<double> kr = latency_samples_ms(h.key_history(k), OpKind::kRead);
+    row.per_key_read_p99_max_ms = std::max(
+        row.per_key_read_p99_max_ms, summarize_latency(kr).p99_ms);
+    writes.insert(writes.end(), kw.begin(), kw.end());
+    reads.insert(reads.end(), kr.begin(), kr.end());
+  }
+  row.write_p99_ms = summarize_latency(std::move(writes)).p99_ms;
+  row.read_p99_ms = summarize_latency(std::move(reads)).p99_ms;
+
+  // Steady-state probe: one more closed-loop op per client on the warm
+  // table must leave both allocation counters untouched.
+  const std::uint64_t engine_allocs = h.sim().allocations();
+  const std::uint64_t pool_misses = h.net().pool().stats().misses;
+  WorkloadOptions probe;
+  probe.ops_per_writer = 1;
+  probe.ops_per_reader = 1;
+  run_keyspace_workload(h, probe);
+  row.steady_engine_allocs = h.sim().allocations() - engine_allocs;
+  row.steady_pool_misses = h.net().pool().stats().misses - pool_misses;
+  return row;
+}
+
 // ---- report + artifact ----
 
 void report() {
@@ -348,13 +435,32 @@ void report() {
         {24, 18, 12, 12, 8, 8});
   }
 
+  // Million-client grid: 10^5 and 10^6 total ops through one table-driven
+  // harness. Long runs — a single rep per row is already stable, and the
+  // trend gate normalizes by the engine calibration anyway.
+  const std::vector<MillionRow> million = {
+      run_million_client(10'000, 10),    // 10^5 ops
+      run_million_client(100'000, 10),   // 10^6 ops
+  };
+  header("Million-client keyspace (table clients, 64 keys / 8 shards, zipf)");
+  row({"clients", "ops", "events/s", "wr p99", "rd p99", "key p99", "steady"},
+      {10, 10, 12, 10, 10, 10, 8});
+  for (const MillionRow& r : million) {
+    row({std::to_string(r.clients),
+         std::to_string(static_cast<long long>(r.clients) * r.ops_per_client),
+         fmt(r.events_per_sec(), 0), fmt(r.write_p99_ms, 2),
+         fmt(r.read_p99_ms, 2), fmt(r.per_key_read_p99_max_ms, 2),
+         std::to_string(r.steady_engine_allocs + r.steady_pool_misses)},
+        {10, 10, 12, 10, 10, 10, 8});
+  }
+
   const std::vector<VvRow> vv_rows = run_valuevector_rows();
   print_valuevector_rows(vv_rows);
 
   JsonWriter j;
   j.begin_object();
   j.key("bench").value("simcore_throughput");
-  j.key("schema_version").value(2);
+  j.key("schema_version").value(3);
   j.key("engine_comparison").begin_object();
   j.key("workload").value("w2r1_replay_uniform_delay");
   j.key("hops").value(cmp.hops);
@@ -376,6 +482,25 @@ void report() {
     j.key("msgs_per_sec").value(r.msgs_per_sec());
     j.key("engine_allocs").value(r.engine_allocs);
     j.key("pool_misses").value(r.pool_misses);
+    j.key("steady_engine_allocs").value(r.steady_engine_allocs);
+    j.key("steady_pool_misses").value(r.steady_pool_misses);
+    j.end_object();
+  }
+  j.end_array();
+  j.key("million_client").begin_array();
+  for (const MillionRow& r : million) {
+    j.begin_object();
+    j.key("protocol").value(r.protocol);
+    j.key("keyspace").value(r.keyspace);
+    j.key("clients").value(r.clients);
+    j.key("ops_per_client").value(r.ops_per_client);
+    j.key("events").value(r.events);
+    j.key("msgs").value(r.msgs);
+    j.key("wall_ms").value(r.wall_ms);
+    j.key("events_per_sec").value(r.events_per_sec());
+    j.key("write_p99_ms").value(r.write_p99_ms);
+    j.key("read_p99_ms").value(r.read_p99_ms);
+    j.key("per_key_read_p99_max_ms").value(r.per_key_read_p99_max_ms);
     j.key("steady_engine_allocs").value(r.steady_engine_allocs);
     j.key("steady_pool_misses").value(r.steady_pool_misses);
     j.end_object();

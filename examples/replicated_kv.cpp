@@ -1,15 +1,16 @@
 // A replicated key-value store built on multi-writer atomic registers.
 //
 // Each key is an independent atomic register (atomicity is local, Section
-// 2.1, so per-key registers compose into a linearizable map). Keys are
-// sharded across register instances; a mixed workload of puts and gets runs
-// against them, and every per-key history is machine-checked.
+// 2.1, so per-key registers compose into a linearizable map). The store is
+// ONE SimHarness with a multi-key keyspace: every key is its own quorum
+// group sharded over physical replicas, clients are table-driven slots of
+// that harness, and every per-key history is machine-checked. (Earlier
+// revisions emulated this with one harness per key and hand-stitched
+// virtual time; the keyspace API makes the composition first-class.)
 //
 //   $ ./examples/replicated_kv
 #include <cstdio>
-#include <map>
-#include <set>
-#include <memory>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -23,46 +24,50 @@ namespace {
 
 using namespace mwreg;
 
-/// One key = one emulated register on its own (simulated) replica group.
+/// Name -> key index map over a keyspace harness, with one-op-per-client
+/// well-formedness (Section 2.1) enforced by settling when a client is
+/// still busy.
 class KvStore {
  public:
-  KvStore(std::vector<std::string> keys, ClusterConfig cfg, std::uint64_t seed)
-      : keys_(std::move(keys)) {
-    const Protocol* proto = protocol_by_name("mw-abd(W2R2)");
-    for (std::size_t i = 0; i < keys_.size(); ++i) {
-      SimHarness::Options o;
-      o.cfg = cfg;
-      o.seed = seed + i;
-      shards_.push_back(std::make_unique<SimHarness>(*proto, std::move(o)));
-    }
-  }
-
-  // A client runs one operation at a time (well-formedness, Section 2.1):
-  // when the chosen client is still busy in this batch, the batch settles
-  // first. `busy_` tracks (shard, client) pairs with an outstanding op.
+  KvStore(SimHarness& h, std::vector<std::string> keys)
+      : h_(h),
+        keys_(std::move(keys)),
+        writer_busy_(static_cast<std::size_t>(h.cfg().w())),
+        reader_busy_(static_cast<std::size_t>(h.cfg().r())) {}
 
   void put(const std::string& key, int writer, std::int64_t value) {
-    claim(key, /*is_writer=*/true, writer);
-    shard(key).async_write(writer, value);
+    if (writer_busy_[static_cast<std::size_t>(writer)]) settle();
+    writer_busy_[static_cast<std::size_t>(writer)] = true;
+    h_.async_write_key(writer, key_of(key), value, [this, writer]() {
+      writer_busy_[static_cast<std::size_t>(writer)] = false;
+    });
   }
 
   void get(const std::string& key, int reader,
            std::function<void(TaggedValue)> done = nullptr) {
-    claim(key, /*is_writer=*/false, reader);
-    shard(key).async_read(reader, std::move(done));
+    if (reader_busy_[static_cast<std::size_t>(reader)]) settle();
+    reader_busy_[static_cast<std::size_t>(reader)] = true;
+    h_.async_read_key(reader, key_of(key),
+                      [this, reader, done = std::move(done)](TaggedValue v) {
+                        reader_busy_[static_cast<std::size_t>(reader)] = false;
+                        if (done) done(v);
+                      });
   }
 
-  /// Run all shards' pending operations to completion.
-  void settle() {
-    for (auto& s : shards_) s->run();
-    busy_.clear();
-  }
+  /// Run every pending operation to completion.
+  void settle() { h_.run(); }
 
   bool check_all(std::string* why) const {
-    for (std::size_t i = 0; i < shards_.size(); ++i) {
-      const CheckResult r = check_tag_witness(shards_[i]->history());
-      if (!r.atomic) {
-        *why = "key '" + keys_[i] + "': " + r.violation;
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      const int k = static_cast<int>(i);
+      const CheckResult tag = check_tag_witness(h_.key_history(k));
+      if (!tag.atomic) {
+        *why = "key '" + keys_[i] + "': " + tag.violation;
+        return false;
+      }
+      const CheckResult graph = check_unique_value_graph(h_.key_history(k));
+      if (!graph.atomic) {
+        *why = "key '" + keys_[i] + "': " + graph.violation;
         return false;
       }
     }
@@ -71,37 +76,39 @@ class KvStore {
 
   std::size_t total_ops() const {
     std::size_t n = 0;
-    for (const auto& s : shards_) n += s->history().completed_count();
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      n += h_.key_history(static_cast<int>(i)).completed_count();
+    }
     return n;
   }
 
  private:
-  SimHarness& shard(const std::string& key) {
+  std::uint32_t key_of(const std::string& key) const {
     for (std::size_t i = 0; i < keys_.size(); ++i) {
-      if (keys_[i] == key) return *shards_[i];
+      if (keys_[i] == key) return static_cast<std::uint32_t>(i);
     }
     std::abort();
   }
 
-  void claim(const std::string& key, bool is_writer, int client) {
-    const auto slot = std::make_tuple(key, is_writer, client);
-    if (!busy_.insert(slot).second) {
-      settle();
-      busy_.insert(slot);
-    }
-  }
-
+  SimHarness& h_;
   std::vector<std::string> keys_;
-  std::vector<std::unique_ptr<SimHarness>> shards_;
-  std::set<std::tuple<std::string, bool, int>> busy_;
+  std::vector<bool> writer_busy_;
+  std::vector<bool> reader_busy_;
 };
 
 }  // namespace
 
 int main() {
   const std::vector<std::string> keys{"users", "orders", "carts", "stock"};
-  const ClusterConfig cfg{5, 3, 3, 2};  // 5 replicas per key, survives 2
-  KvStore store(keys, cfg, 77);
+  const Protocol* proto = protocol_by_name("mw-abd(W2R2)");
+
+  SimHarness::Options o;
+  o.cfg = ClusterConfig{5, 3, 3, 2};  // 5 replicas per key, survives 2
+  o.keyspace =
+      KeyspaceConfig{static_cast<int>(keys.size()), /*shards=*/2, /*zipf=*/0};
+  o.seed = 77;
+  SimHarness h(*proto, std::move(o));
+  KvStore store(h, keys);
 
   // A mixed workload: 3 writers and 3 readers hammer random keys.
   Rng rng(1234);
@@ -122,6 +129,13 @@ int main() {
 
   std::printf("replicated KV store: %d puts, %d gets across %zu keys\n", puts,
               gets, keys.size());
+
+  // Pile on a Zipfian closed-loop batch through the same harness — the
+  // keyspace API's bulk driver, reusing the warm table.
+  WorkloadOptions w;
+  w.ops_per_writer = 30;
+  w.ops_per_reader = 30;
+  run_keyspace_workload(h, w);
   std::printf("completed operations: %zu\n", store.total_ops());
 
   std::string why;

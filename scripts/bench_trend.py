@@ -47,6 +47,11 @@ def collect_rows(doc):
             v["protocol"], v["cluster"], v["workload"]
         )
         rows[key] = (float(v["events_per_sec"]), float(v.get("wall_ms", 0)))
+    for m in doc.get("million_client", []):
+        key = "million_client/{}/{}x{}".format(
+            m["protocol"], m["clients"], m["ops_per_client"]
+        )
+        rows[key] = (float(m["events_per_sec"]), float(m.get("wall_ms", 0)))
     return rows
 
 
@@ -69,6 +74,16 @@ def steady_alloc_failures(doc):
             bad.append(
                 "workloads/{}/{}: steady-state allocations = {}".format(
                     w["protocol"], w["cluster"], steady
+                )
+            )
+    for m in doc.get("million_client", []):
+        steady = int(m.get("steady_engine_allocs", 0)) + int(
+            m.get("steady_pool_misses", 0)
+        )
+        if steady != 0:
+            bad.append(
+                "million_client/{}/{}x{}: steady-state allocations = {}".format(
+                    m["protocol"], m["clients"], m["ops_per_client"], steady
                 )
             )
     return bad
@@ -141,11 +156,15 @@ def compare(artifact, baseline, max_regression, min_wall_ms=5.0):
 # ---- self-test -------------------------------------------------------------
 
 
-def _doc(rows, legacy_eps=1_000_000.0, steady=0, wall_ms=100.0):
-    """Synthetic artifact with the given {(proto, cluster): eps} workloads."""
+def _doc(rows, legacy_eps=1_000_000.0, steady=0, wall_ms=100.0, million=None):
+    """Synthetic artifact with the given {(proto, cluster): eps} workloads.
+
+    `million` is an optional {(clients, ops): (eps, steady)} dict rendered
+    as the million_client section.
+    """
     return {
         "bench": "simcore_throughput",
-        "schema_version": 2,
+        "schema_version": 3,
         "engine_comparison": {"legacy_events_per_sec": legacy_eps},
         "workloads": [
             {
@@ -157,6 +176,18 @@ def _doc(rows, legacy_eps=1_000_000.0, steady=0, wall_ms=100.0):
                 "steady_pool_misses": 0,
             }
             for (p, c), eps in rows.items()
+        ],
+        "million_client": [
+            {
+                "protocol": "mw-abd(W2R2)",
+                "clients": clients,
+                "ops_per_client": ops,
+                "events_per_sec": eps,
+                "wall_ms": wall_ms,
+                "steady_engine_allocs": msteady,
+                "steady_pool_misses": 0,
+            }
+            for (clients, ops), (eps, msteady) in (million or {}).items()
         ],
         "valuevector": [],
     }
@@ -218,6 +249,32 @@ def self_test():
         _doc({("fr", "S=5"): 280_000.0, ("abd", "S=3"): 8e6}, wall_ms=2.0),
         False,
     )
+    # million_client rows ride the same gates: once baselined, a vanished
+    # or regressed row fails, and steady-state allocations always fail.
+    mbase = _doc(
+        {("fr", "S=5"): 4e5}, million={(100_000, 10): (2e6, 0)}
+    )
+    mchecks = [
+        (
+            "million-identical",
+            _doc({("fr", "S=5"): 4e5}, million={(100_000, 10): (2e6, 0)}),
+            False,
+        ),
+        (
+            "million-30pc-drop",
+            _doc({("fr", "S=5"): 4e5}, million={(100_000, 10): (1.4e6, 0)}),
+            True,
+        ),
+        ("million-missing-row", _doc({("fr", "S=5"): 4e5}), True),
+        (
+            "million-steady-allocs",
+            _doc({("fr", "S=5"): 4e5}, million={(100_000, 10): (2e6, 7)}),
+            True,
+        ),
+    ]
+    for name, doc, want_fail in mchecks:
+        failures, _ = compare(doc, mbase, 0.25)
+        checks.append((name, bool(failures) == want_fail, failures))
 
     bad = [name for name, ok, _ in checks if not ok]
     for name, ok, failures in checks:

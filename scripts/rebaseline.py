@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Merge N BENCH_simcore.json runs into one baseline by per-row medians.
+
+Usage:
+    rebaseline.py run1.json run2.json run3.json \
+                  --output bench/baselines/BENCH_simcore.baseline.json
+    rebaseline.py --self-test
+
+A single bench run's wall-clock numbers carry shared-runner noise even
+after best-of-3; the scheduled re-baseline job shrinks it further by
+running the whole bench N times and keeping, per row, the MEDIAN
+events_per_sec and wall_ms across runs. Everything deterministic (events,
+msgs, bytes, allocation counters) is identical across runs and is taken
+from the first artifact verbatim; the calibration row and the
+engine-comparison speedup are re-derived from medians too.
+
+All runs must contain the same row set — a mismatch means a stale binary
+or a half-finished run and is an error, not something to paper over.
+
+Exit codes: 0 ok, 1 row-set mismatch, 2 usage or I/O error.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+# (section, key fields...) — keys must match scripts/bench_trend.py.
+SECTIONS = {
+    "workloads": ("protocol", "cluster"),
+    "valuevector": ("protocol", "cluster", "workload"),
+    "million_client": ("protocol", "clients", "ops_per_client"),
+}
+MEDIANED_FIELDS = ("events_per_sec", "wall_ms")
+
+
+def row_key(section, row):
+    return (section,) + tuple(row[f] for f in SECTIONS[section])
+
+
+def index_rows(doc):
+    """{row_key: row} over every known section of one artifact."""
+    out = {}
+    for section in SECTIONS:
+        for row in doc.get(section, []):
+            out[row_key(section, row)] = row
+    return out
+
+
+def merge(docs):
+    """Median-merge artifacts into a baseline; raises ValueError on
+    mismatched row sets."""
+    template = docs[0]
+    indexes = [index_rows(d) for d in docs]
+    keys = set(indexes[0])
+    for i, idx in enumerate(indexes[1:], start=2):
+        if set(idx) != keys:
+            diff = sorted(set(idx) ^ keys)
+            raise ValueError(
+                "run {} has a different row set ({} mismatched rows, "
+                "e.g. {})".format(i, len(diff), "/".join(map(str, diff[0])))
+            )
+
+    merged = json.loads(json.dumps(template))  # deep copy
+    for section in SECTIONS:
+        for row in merged.get(section, []):
+            key = row_key(section, row)
+            for field in MEDIANED_FIELDS:
+                if field in row:
+                    row[field] = statistics.median(
+                        float(idx[key][field]) for idx in indexes
+                    )
+
+    cmp_rows = [d.get("engine_comparison", {}) for d in docs]
+    cmp_out = merged.get("engine_comparison", {})
+    for field in ("legacy_events_per_sec", "pooled_events_per_sec"):
+        if all(field in c for c in cmp_rows):
+            cmp_out[field] = statistics.median(float(c[field]) for c in cmp_rows)
+    if cmp_out.get("legacy_events_per_sec"):
+        cmp_out["speedup"] = (
+            cmp_out["pooled_events_per_sec"] / cmp_out["legacy_events_per_sec"]
+        )
+    return merged
+
+
+# ---- self-test -------------------------------------------------------------
+
+
+def _run(eps, wall, legacy=1e6, pooled=3e6):
+    return {
+        "bench": "simcore_throughput",
+        "schema_version": 3,
+        "engine_comparison": {
+            "legacy_events_per_sec": legacy,
+            "pooled_events_per_sec": pooled,
+            "speedup": pooled / legacy,
+        },
+        "workloads": [
+            {
+                "protocol": "fr",
+                "cluster": "S=5",
+                "events": 1000,
+                "events_per_sec": eps,
+                "wall_ms": wall,
+            }
+        ],
+        "million_client": [
+            {
+                "protocol": "mw-abd(W2R2)",
+                "clients": 100000,
+                "ops_per_client": 10,
+                "events_per_sec": eps * 2,
+                "wall_ms": wall * 2,
+                "steady_engine_allocs": 0,
+                "steady_pool_misses": 0,
+            }
+        ],
+        "valuevector": [],
+    }
+
+
+def self_test():
+    runs = [_run(100.0, 10.0), _run(500.0, 2.0), _run(300.0, 6.0, legacy=2e6)]
+    m = merge(runs)
+    ok = True
+
+    def check(name, cond):
+        nonlocal ok
+        print("self-test {:<28} {}".format(name, "ok" if cond else "FAILED"))
+        ok = ok and cond
+
+    check("workload-eps-median", m["workloads"][0]["events_per_sec"] == 300.0)
+    check("workload-wall-median", m["workloads"][0]["wall_ms"] == 6.0)
+    check("million-eps-median", m["million_client"][0]["events_per_sec"] == 600.0)
+    check("deterministic-verbatim", m["workloads"][0]["events"] == 1000)
+    check(
+        "calibration-median",
+        m["engine_comparison"]["legacy_events_per_sec"] == 1e6,
+    )
+    check("speedup-rederived", m["engine_comparison"]["speedup"] == 3.0)
+    try:
+        bad = _run(100.0, 10.0)
+        bad["workloads"][0]["cluster"] = "S=7"
+        merge([runs[0], bad])
+        check("mismatch-detected", False)
+    except ValueError:
+        check("mismatch-detected", True)
+    print("self-test " + ("passed" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("runs", nargs="*", help="BENCH_simcore.json files to merge")
+    ap.add_argument("--output", help="baseline path to write")
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.runs or not args.output:
+        ap.error("at least one run and --output are required (or --self-test)")
+
+    try:
+        docs = []
+        for path in args.runs:
+            with open(path) as f:
+                docs.append(json.load(f))
+    except (OSError, ValueError) as e:
+        print("rebaseline: cannot load inputs:", e, file=sys.stderr)
+        return 2
+
+    try:
+        merged = merge(docs)
+    except ValueError as e:
+        print("rebaseline:", e, file=sys.stderr)
+        return 1
+
+    try:
+        with open(args.output, "w") as f:
+            json.dump(merged, f, indent=1)
+            f.write("\n")
+    except OSError as e:
+        print("rebaseline: cannot write output:", e, file=sys.stderr)
+        return 2
+    print(
+        "rebaseline: wrote {} ({} rows, medians of {} runs)".format(
+            args.output, len(index_rows(merged)), len(docs)
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

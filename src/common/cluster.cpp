@@ -13,19 +13,22 @@ std::vector<NodeId> id_range(NodeId lo, int n) {
 }  // namespace
 
 std::vector<NodeId> ClusterConfig::server_ids() const {
-  return id_range(0, num_servers);
+  return id_range(server_base, num_servers);
 }
 
 std::vector<NodeId> ClusterConfig::writer_ids() const {
-  return id_range(num_servers, num_writers);
+  return id_range(first_client(), num_writers);
 }
 
 std::vector<NodeId> ClusterConfig::reader_ids() const {
-  return id_range(num_servers + num_writers, num_readers);
+  return id_range(first_reader(), num_readers);
 }
 
 std::vector<NodeId> ClusterConfig::client_ids() const {
-  return id_range(num_servers, num_writers + num_readers);
+  std::vector<NodeId> ids = writer_ids();
+  const std::vector<NodeId> readers = reader_ids();
+  ids.insert(ids.end(), readers.begin(), readers.end());
+  return ids;
 }
 
 std::string ClusterConfig::to_string() const {

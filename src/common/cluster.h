@@ -1,7 +1,13 @@
 // Cluster layout: how many servers / writers / readers, the failure budget t,
 // and the id ranges assigned to each role (Fig. 1 of the paper).
 //
-// Ids are laid out as: servers [0, S), writers [S, S+W), readers [S+W, S+W+R).
+// By default ids are laid out as: servers [0, S), writers [S, S+W), readers
+// [S+W, S+W+R). Keyspace deployments (core/keyspace.h) place many replica
+// groups and one shared client population inside a single simulation, so a
+// group's roles may be re-based anywhere in the id space via server_base /
+// client_base / reader_base; the defaults reproduce the historical layout
+// exactly, and nothing digest-relevant depends on the bases (exp::cell_digest
+// mixes only S, W, R, t).
 #pragma once
 
 #include <string>
@@ -17,6 +23,12 @@ struct ClusterConfig {
   int num_readers = 2;  ///< R
   int max_faulty = 1;   ///< t — servers that may crash
 
+  /// Id-range re-basing for multi-group (keyspace) deployments. kNoNode
+  /// means "immediately after the previous role", i.e. the default layout.
+  NodeId server_base = 0;
+  NodeId client_base = kNoNode;  ///< first writer id
+  NodeId reader_base = kNoNode;  ///< first reader id
+
   [[nodiscard]] int s() const { return num_servers; }
   [[nodiscard]] int w() const { return num_writers; }
   [[nodiscard]] int r() const { return num_readers; }
@@ -25,24 +37,40 @@ struct ClusterConfig {
   /// Quorum size every round-trip waits for: S - t (the paper's model).
   [[nodiscard]] int quorum() const { return num_servers - max_faulty; }
 
-  [[nodiscard]] NodeId server_id(int i) const { return i; }
-  [[nodiscard]] NodeId writer_id(int i) const { return num_servers + i; }
-  [[nodiscard]] NodeId reader_id(int i) const {
-    return num_servers + num_writers + i;
+  [[nodiscard]] NodeId first_client() const {
+    return client_base == kNoNode ? server_base + num_servers : client_base;
   }
+  [[nodiscard]] NodeId first_reader() const {
+    return reader_base == kNoNode ? first_client() + num_writers : reader_base;
+  }
+
+  [[nodiscard]] NodeId server_id(int i) const { return server_base + i; }
+  [[nodiscard]] NodeId writer_id(int i) const { return first_client() + i; }
+  [[nodiscard]] NodeId reader_id(int i) const { return first_reader() + i; }
 
   [[nodiscard]] int total_nodes() const {
     return num_servers + num_writers + num_readers;
   }
 
+  /// One past the largest id any role occupies: the size every dense
+  /// NodeId-indexed table needs. Equal to total_nodes() in the default
+  /// layout.
+  [[nodiscard]] NodeId id_end() const {
+    const NodeId s_end = server_base + num_servers;
+    const NodeId w_end = first_client() + num_writers;
+    const NodeId r_end = first_reader() + num_readers;
+    return s_end > w_end ? (s_end > r_end ? s_end : r_end)
+                         : (w_end > r_end ? w_end : r_end);
+  }
+
   [[nodiscard]] bool is_server(NodeId id) const {
-    return id >= 0 && id < num_servers;
+    return id >= server_base && id < server_base + num_servers;
   }
   [[nodiscard]] bool is_writer(NodeId id) const {
-    return id >= num_servers && id < num_servers + num_writers;
+    return id >= first_client() && id < first_client() + num_writers;
   }
   [[nodiscard]] bool is_reader(NodeId id) const {
-    return id >= num_servers + num_writers && id < total_nodes();
+    return id >= first_reader() && id < first_reader() + num_readers;
   }
 
   [[nodiscard]] std::vector<NodeId> server_ids() const;

@@ -6,8 +6,9 @@
 namespace mwreg {
 
 SimHarness::SimHarness(const Protocol& proto, Options opts)
-    : cfg_(opts.cfg), rng_(opts.seed) {
+    : cfg_(opts.cfg), keyspace_(opts.keyspace), rng_(opts.seed) {
   assert(cfg_.valid());
+  assert(keyspace_.valid());
   std::unique_ptr<DelayModel> delay = std::move(opts.delay);
   if (!delay) {
     delay = std::make_unique<UniformDelay>(1 * kMillisecond, 10 * kMillisecond);
@@ -18,19 +19,106 @@ SimHarness::SimHarness(const Protocol& proto, Options opts)
   spike_ = spike.get();
   net_ = std::make_unique<Network>(sim_, std::move(spike), rng_.fork(),
                                    opts.fifo);
-  for (NodeId s : cfg_.server_ids()) {
-    servers_.push_back(proto.make_server(s, *net_, cfg_));
+
+  const bool table_mode = opts.table_clients || keyspace_.multi();
+  if (!table_mode) {
+    for (NodeId s : cfg_.server_ids()) {
+      servers_.push_back(proto.make_server(s, *net_, cfg_));
+    }
+    for (NodeId w : cfg_.writer_ids()) {
+      writers_.push_back(proto.make_writer(w, *net_, cfg_));
+    }
+    for (NodeId r : cfg_.reader_ids()) {
+      readers_.push_back(proto.make_reader(r, *net_, cfg_));
+    }
+    return;
   }
-  for (NodeId w : cfg_.writer_ids()) {
-    writers_.push_back(proto.make_writer(w, *net_, cfg_));
+
+  assert(proto.supports_table_clients() &&
+         "protocol has no table client programs");
+  const bool affine = proto.table_reader() == TableReaderProgram::kFrFull ||
+                      proto.table_reader() == TableReaderProgram::kFrDelta;
+  if (!keyspace_.multi()) {
+    // Single register, table driver: the classic layout verbatim — same
+    // server ids, same client ids, same single history — so fault plans and
+    // golden digests carry over unchanged.
+    for (NodeId s : cfg_.server_ids()) {
+      servers_.push_back(proto.make_server(s, *net_, cfg_));
+    }
+    table_global_ = cfg_;
+    key_cfgs_.push_back(cfg_);
+  } else {
+    const int nk = keyspace_.num_keys;
+    const int num_shards = keyspace_.shards;
+    const int servers_per_group = cfg_.s();
+    assert(!affine || nk <= cfg_.r());
+    // Per-key quorum groups: same shape as cfg_, re-based onto the owning
+    // shard; all keys share the client id range after the server block.
+    key_cfgs_.reserve(static_cast<std::size_t>(nk));
+    for (int k = 0; k < nk; ++k) {
+      ClusterConfig kc = cfg_;
+      kc.server_base = static_cast<NodeId>((k % num_shards) * servers_per_group);
+      kc.client_base = static_cast<NodeId>(num_shards * servers_per_group);
+      if (affine) {
+        const int begin = reader_block_begin(k, nk, cfg_.r());
+        const int end = reader_block_begin(k + 1, nk, cfg_.r());
+        kc.reader_base = kc.client_base + cfg_.w() + begin;
+        kc.num_readers = end - begin;
+      }
+      key_cfgs_.push_back(kc);
+    }
+    key_histories_.resize(static_cast<std::size_t>(nk));
+    // One KeyRouter per physical server id; shard j's router at slot i owns
+    // the replicas of keys j, j+shards, j+2*shards, ...
+    for (int j = 0; j < num_shards; ++j) {
+      for (int i = 0; i < servers_per_group; ++i) {
+        const NodeId id = static_cast<NodeId>(j * servers_per_group + i);
+        auto router = std::make_unique<KeyRouter>(id, *net_, num_shards);
+        for (int k = j; k < nk; k += num_shards) {
+          router->add_replica(
+              proto.make_server(id, *net_, key_cfgs_[static_cast<std::size_t>(k)]));
+        }
+        servers_.push_back(std::move(router));
+      }
+    }
+    table_global_ = cfg_;
+    table_global_.client_base =
+        static_cast<NodeId>(num_shards * servers_per_group);
   }
-  for (NodeId r : cfg_.reader_ids()) {
-    readers_.push_back(proto.make_reader(r, *net_, cfg_));
+
+  std::vector<History*> histories;
+  if (key_histories_.empty()) {
+    histories.push_back(&history_);
+  } else {
+    histories.reserve(key_histories_.size());
+    for (History& h : key_histories_) histories.push_back(&h);
   }
+  table_ = std::make_unique<ClientTable>(*net_, table_global_, key_cfgs_,
+                                         proto.table_writer(),
+                                         proto.table_reader(),
+                                         std::move(histories));
+  write_done_.resize(static_cast<std::size_t>(cfg_.w()));
+  read_done_.resize(static_cast<std::size_t>(cfg_.r()));
+  table_->set_on_complete(
+      [this](int slot, OpKind kind, const TaggedValue& value) {
+        if (kind == OpKind::kWrite) {
+          auto done = std::move(write_done_[static_cast<std::size_t>(slot)]);
+          write_done_[static_cast<std::size_t>(slot)] = nullptr;
+          if (done) done();
+        } else {
+          const auto ri =
+              static_cast<std::size_t>(slot - table_->writer_count());
+          auto done = std::move(read_done_[ri]);
+          read_done_[ri] = nullptr;
+          if (done) done(value);
+        }
+        if (user_hook_) user_hook_(slot, kind, value);
+      });
 }
 
 OpId SimHarness::async_write(int wi, std::int64_t payload,
                              std::function<void()> done) {
+  if (table_) return async_write_key(wi, 0, payload, std::move(done));
   const NodeId client = cfg_.writer_id(wi);
   const OpId op = history_.begin_op(client, OpKind::kWrite, sim_.now());
   writers_.at(static_cast<std::size_t>(wi))
@@ -42,6 +130,7 @@ OpId SimHarness::async_write(int wi, std::int64_t payload,
 }
 
 OpId SimHarness::async_read(int ri, std::function<void(TaggedValue)> done) {
+  if (table_) return async_read_key(ri, 0, std::move(done));
   const NodeId client = cfg_.reader_id(ri);
   const OpId op = history_.begin_op(client, OpKind::kRead, sim_.now());
   readers_.at(static_cast<std::size_t>(ri))
@@ -52,7 +141,24 @@ OpId SimHarness::async_read(int ri, std::function<void(TaggedValue)> done) {
   return op;
 }
 
+OpId SimHarness::async_write_key(int wi, std::uint32_t key,
+                                 std::int64_t payload,
+                                 std::function<void()> done) {
+  assert(table_ && "keyed operations require table clients");
+  write_done_.at(static_cast<std::size_t>(wi)) = std::move(done);
+  return table_->start_write(wi, key, payload);
+}
+
+OpId SimHarness::async_read_key(int ri, std::uint32_t key,
+                                std::function<void(TaggedValue)> done) {
+  assert(table_ && "keyed operations require table clients");
+  read_done_.at(static_cast<std::size_t>(ri)) = std::move(done);
+  return table_->start_read(ri, key);
+}
+
 void SimHarness::install_fault_plan(const FaultPlan& plan) {
+  assert(!keyspace_.multi() &&
+         "fault plans resolve against the single-register layout");
   // Repeated installs share one log, so composed plans account together.
   fault_log_ = mwreg::install_fault_plan(*net_, cfg_, plan, spike_, fault_log_);
 }

@@ -1,6 +1,19 @@
 // SimHarness: wires a cluster (Fig. 1) for one protocol on the simulator,
 // instruments operations into a History, and exposes fault injection —
 // one-shot (crash_random_servers) or declarative (install_fault_plan).
+//
+// Two client drivers share this front end:
+//  - object clients (default): one WriterApi/ReaderApi heap object per
+//    client, the original per-object drivers;
+//  - the ClientTable (opt-in via Options::table_clients, mandatory for
+//    multi-key keyspaces): every client is a struct-of-arrays slot in one
+//    Process, scaling to ~10^6 concurrent clients per harness.
+// Both present the same async_write/async_read surface and produce
+// bit-identical histories on the single-register layout.
+//
+// A KeyspaceConfig with num_keys > 1 turns the harness into a sharded
+// multi-register deployment: each key is its own quorum group (KeyRouter
+// per physical server id, per-key History), hosted by this ONE harness.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +24,8 @@
 #include "common/cluster.h"
 #include "common/rng.h"
 #include "consistency/history.h"
+#include "core/client_table.h"
+#include "core/keyspace.h"
 #include "core/protocol.h"
 #include "sim/delay_model.h"
 #include "sim/fault_plan.h"
@@ -27,6 +42,13 @@ class SimHarness {
     /// Defaults to UniformDelay(1ms, 10ms) when null.
     std::unique_ptr<DelayModel> delay;
     bool fifo = false;
+    /// num_keys > 1 shards the harness into a multi-register keyspace
+    /// (implies table clients). num_keys <= 1 keeps the classic layout.
+    KeyspaceConfig keyspace;
+    /// Drive clients through the ClientTable instead of per-object
+    /// WriterApi/ReaderApi instances. Wire-identical on a single register;
+    /// required (and implied) for multi-key keyspaces.
+    bool table_clients = false;
   };
 
   SimHarness(const Protocol& proto, Options opts);
@@ -37,20 +59,29 @@ class SimHarness {
   History& history() { return history_; }
   Rng& rng() { return rng_; }
 
-  /// Issue a write by writer index `wi`, recording it in the history.
-  /// Returns the history OpId (useful to set_value on writes that never
-  /// complete under fault injection).
+  /// Issue a write by writer index `wi` (key 0), recording it in the
+  /// history. Returns the history OpId (useful to set_value on writes that
+  /// never complete under fault injection).
   OpId async_write(int wi, std::int64_t payload,
                    std::function<void()> done = nullptr);
-  /// Issue a read by reader index `ri`, recording it in the history.
+  /// Issue a read by reader index `ri` (key 0), recording it in the history.
   OpId async_read(int ri, std::function<void(TaggedValue)> done = nullptr);
 
-  /// Crash `count` distinct servers chosen with the harness Rng.
+  /// Keyed variants (table mode). The OpId indexes key `key`'s history.
+  OpId async_write_key(int wi, std::uint32_t key, std::int64_t payload,
+                       std::function<void()> done = nullptr);
+  OpId async_read_key(int ri, std::uint32_t key,
+                      std::function<void(TaggedValue)> done = nullptr);
+
+  /// Crash `count` distinct servers chosen with the harness Rng. In
+  /// multi-key mode the ids drawn are shard 0's physical servers.
   std::vector<NodeId> crash_random_servers(int count);
 
   /// Schedule every step of `plan` as simulator events (resolved against
   /// this harness's cluster). The log is observable via fault_log() during
   /// and after run(). Call before run(); repeated installs compose.
+  /// Single-register harnesses only (plans resolve against the classic id
+  /// layout).
   void install_fault_plan(const FaultPlan& plan);
 
   /// Log of the most recently installed plan (null when none installed).
@@ -61,8 +92,35 @@ class SimHarness {
   /// Run the simulator to quiescence and return events executed.
   std::size_t run() { return sim_.run(); }
 
+  // ---- keyspace / table-client surface ----
+
+  [[nodiscard]] bool table_mode() const { return table_ != nullptr; }
+  [[nodiscard]] const KeyspaceConfig& keyspace() const { return keyspace_; }
+  /// Number of registers hosted (1 for the classic layout).
+  [[nodiscard]] int num_keys() const {
+    return key_cfgs_.empty() ? 1 : static_cast<int>(key_cfgs_.size());
+  }
+  /// Key `k`'s quorum group (the full cluster config for the classic
+  /// layout).
+  [[nodiscard]] const ClusterConfig& key_cfg(int k) const {
+    return key_cfgs_.empty() ? cfg_ : key_cfgs_[static_cast<std::size_t>(k)];
+  }
+  /// Key `k`'s history (the single history when not multi-key).
+  History& key_history(int k) {
+    return key_histories_.empty() ? history_
+                                  : key_histories_[static_cast<std::size_t>(k)];
+  }
+  /// The table driver; null when running object clients.
+  [[nodiscard]] ClientTable* table() { return table_.get(); }
+  /// Observe every table-client completion (fires after any per-op done
+  /// callback). Table mode only; pass nullptr to clear.
+  void set_table_completion(ClientTable::CompleteFn fn) {
+    user_hook_ = std::move(fn);
+  }
+
  private:
   ClusterConfig cfg_;
+  KeyspaceConfig keyspace_;
   Rng rng_;
   Simulator sim_;
   std::unique_ptr<Network> net_;
@@ -72,6 +130,16 @@ class SimHarness {
   std::vector<std::unique_ptr<WriterApi>> writers_;
   std::vector<std::unique_ptr<ReaderApi>> readers_;
   History history_;
+
+  // Table mode. key_cfgs_ / key_histories_ are sized once in the ctor and
+  // never resized (the table holds pointers into them).
+  ClusterConfig table_global_;
+  std::vector<ClusterConfig> key_cfgs_;
+  std::vector<History> key_histories_;
+  std::unique_ptr<ClientTable> table_;
+  std::vector<std::function<void()>> write_done_;
+  std::vector<std::function<void(TaggedValue)>> read_done_;
+  ClientTable::CompleteFn user_hook_;
 };
 
 }  // namespace mwreg

@@ -11,6 +11,26 @@
 
 namespace mwreg {
 
+/// Which table-driven writer state machine a protocol's writes run as
+/// (core/client_table.h). kNone means the protocol has no table program and
+/// can only be driven by its heap-allocated object clients.
+enum class TableWriterProgram {
+  kNone,
+  kAbdTwoRound,       ///< query max tag, then write (maxTS+1, wid)
+  kAbdLocalTs,        ///< single-writer: one round with a local timestamp
+  kFrQueryThenWrite,  ///< fast-read query (kFrQueryReq) then kFrWriteReq
+  kFrLocalTs,         ///< single-writer kFrWriteReq with a local timestamp
+};
+
+/// Which table-driven reader state machine a protocol's reads run as.
+enum class TableReaderProgram {
+  kNone,
+  kAbdTwoRound,     ///< query max value, then write-back
+  kAbdOneRoundMax,  ///< max-of-quorum, no write-back (regular only)
+  kFrFull,          ///< Algorithm 1 full-ack fast read
+  kFrDelta,         ///< GC'd incremental (delta-ack) fast read
+};
+
 class Protocol {
  public:
   virtual ~Protocol() = default;
@@ -26,6 +46,21 @@ class Protocol {
   /// strawman never does — that is Theorem 1).
   [[nodiscard]] virtual bool guarantees_atomicity(
       const ClusterConfig& cfg) const = 0;
+
+  /// Table-driven client programs (core/client_table.h). Protocols whose
+  /// clients are ported to the dense ClientTable override these; the table
+  /// reproduces the object clients' wire behavior bit-for-bit, so either
+  /// driver yields identical histories.
+  [[nodiscard]] virtual TableWriterProgram table_writer() const {
+    return TableWriterProgram::kNone;
+  }
+  [[nodiscard]] virtual TableReaderProgram table_reader() const {
+    return TableReaderProgram::kNone;
+  }
+  [[nodiscard]] bool supports_table_clients() const {
+    return table_writer() != TableWriterProgram::kNone &&
+           table_reader() != TableReaderProgram::kNone;
+  }
 
   [[nodiscard]] virtual std::unique_ptr<Process> make_server(
       NodeId id, Network& net, const ClusterConfig& cfg) const = 0;

@@ -1,6 +1,7 @@
 #include "core/workload.h"
 
 #include <algorithm>
+#include <cassert>
 #include <memory>
 #include <sstream>
 #include <vector>
@@ -65,6 +66,90 @@ void run_random_workload(SimHarness& h, const WorkloadOptions& opts) {
                 std::make_shared<Rng>(h.rng().fork()));
   }
   h.run();
+}
+
+namespace {
+
+/// Per-slot closed-loop driver over the ClientTable. Lives on the caller's
+/// stack for the duration of one run(); the think-timer closures capture
+/// only {driver pointer, slot} and stay inside the simulator's inline
+/// closure budget.
+struct KeyspaceDriver {
+  SimHarness* h = nullptr;
+  const WorkloadOptions* opts = nullptr;
+  ZipfSampler zipf;
+  std::vector<Rng> rngs;                  ///< per slot, writers then readers
+  std::vector<int> remaining;             ///< ops left to complete, per slot
+  std::vector<std::uint32_t> reader_key;  ///< affine key per reader, or empty
+  int w = 0;
+
+  void schedule_next(int slot) {
+    const Duration think =
+        rngs[static_cast<std::size_t>(slot)].next_in(opts->think_lo,
+                                                     opts->think_hi);
+    KeyspaceDriver* self = this;
+    h->sim().schedule_after(think, [self, slot]() { self->start_op(slot); });
+  }
+
+  void start_op(int slot) {
+    const auto s = static_cast<std::size_t>(slot);
+    if (slot < w) {
+      const std::uint32_t key =
+          static_cast<std::uint32_t>(zipf.sample(rngs[s]));
+      // Payload encodes (writer, sequence), as in run_random_workload.
+      const std::int64_t payload =
+          static_cast<std::int64_t>(slot) * 1'000'000 +
+          (opts->ops_per_writer - remaining[s] + 1);
+      h->async_write_key(slot, key, payload);
+    } else {
+      const int ri = slot - w;
+      const std::uint32_t key =
+          reader_key.empty()
+              ? static_cast<std::uint32_t>(zipf.sample(rngs[s]))
+              : reader_key[static_cast<std::size_t>(ri)];
+      h->async_read_key(ri, key);
+    }
+  }
+};
+
+}  // namespace
+
+void run_keyspace_workload(SimHarness& h, const WorkloadOptions& opts) {
+  assert(h.table_mode() && "keyspace workloads require table clients");
+  ClientTable& table = *h.table();
+  const int w = table.writer_count();
+  const int r = table.reader_count();
+  KeyspaceDriver d;
+  d.h = &h;
+  d.opts = &opts;
+  d.zipf = ZipfSampler(h.num_keys(), h.keyspace().zipf_s);
+  d.w = w;
+  d.rngs.reserve(static_cast<std::size_t>(w + r));
+  for (int i = 0; i < w + r; ++i) d.rngs.push_back(h.rng().fork());
+  d.remaining.resize(static_cast<std::size_t>(w + r));
+  for (int wi = 0; wi < w; ++wi) {
+    d.remaining[static_cast<std::size_t>(wi)] = opts.ops_per_writer;
+  }
+  for (int ri = 0; ri < r; ++ri) {
+    d.remaining[static_cast<std::size_t>(w + ri)] = opts.ops_per_reader;
+  }
+  if (table.reader_key_affine()) {
+    d.reader_key.resize(static_cast<std::size_t>(r));
+    for (int ri = 0; ri < r; ++ri) {
+      d.reader_key[static_cast<std::size_t>(ri)] = static_cast<std::uint32_t>(
+          reader_key_of(ri, h.num_keys(), r));
+    }
+  }
+  h.set_table_completion([&d](int slot, OpKind, const TaggedValue&) {
+    if (--d.remaining[static_cast<std::size_t>(slot)] > 0) {
+      d.schedule_next(slot);
+    }
+  });
+  for (int slot = 0; slot < w + r; ++slot) {
+    if (d.remaining[static_cast<std::size_t>(slot)] > 0) d.schedule_next(slot);
+  }
+  h.run();
+  h.set_table_completion(nullptr);
 }
 
 std::vector<double> latency_samples_ms(const History& h, OpKind kind) {

@@ -109,6 +109,7 @@ std::vector<CellStats> aggregate(const std::vector<TrialResult>& results) {
       cell.protocol = tr.protocol;
       cell.cfg = tr.cfg;
       cell.fault_plan = tr.fault_plan;
+      cell.keyspace = tr.keyspace;
       cell.expected_atomic = tr.expected_atomic;
       cells.push_back(std::move(cell));
     }
@@ -137,7 +138,8 @@ std::vector<CellStats> aggregate(const std::vector<TrialResult>& results) {
 
 std::string to_csv(const std::vector<CellStats>& cells) {
   std::string out =
-      "spec,protocol,S,W,R,t,fault_plan,trials,atomic_trials,expected_atomic,"
+      "spec,protocol,S,W,R,t,keys,shards,zipf,fault_plan,trials,atomic_trials,"
+      "expected_atomic,"
       "write_count,write_mean_ms,write_p50_ms,write_p99_ms,write_max_ms,"
       "read_count,read_mean_ms,read_p50_ms,read_p99_ms,read_max_ms,"
       "msgs_per_op,events_per_trial,"
@@ -146,7 +148,9 @@ std::string to_csv(const std::vector<CellStats>& cells) {
     out += csv_escape(c.spec_name) + "," + csv_escape(c.protocol) + "," +
            std::to_string(c.cfg.s()) + "," + std::to_string(c.cfg.w()) + "," +
            std::to_string(c.cfg.r()) + "," + std::to_string(c.cfg.t()) + "," +
-           csv_escape(c.fault_plan) + "," +
+           std::to_string(c.keyspace.num_keys) + "," +
+           std::to_string(c.keyspace.shards) + "," + fmt(c.keyspace.zipf_s) +
+           "," + csv_escape(c.fault_plan) + "," +
            std::to_string(c.trials) + "," + std::to_string(c.atomic_trials) +
            "," + (c.expected_atomic ? "1" : "0") + "," +
            std::to_string(c.write.count) + "," + fmt(c.write.mean_ms) + "," +
@@ -176,7 +180,10 @@ std::string to_json(const std::vector<CellStats>& cells) {
            json_escape(c.protocol) + "\",\"cluster\":{\"S\":" +
            std::to_string(c.cfg.s()) + ",\"W\":" + std::to_string(c.cfg.w()) +
            ",\"R\":" + std::to_string(c.cfg.r()) + ",\"t\":" +
-           std::to_string(c.cfg.t()) + "},\"fault_plan\":\"" +
+           std::to_string(c.cfg.t()) + "},\"keyspace\":{\"keys\":" +
+           std::to_string(c.keyspace.num_keys) + ",\"shards\":" +
+           std::to_string(c.keyspace.shards) + ",\"zipf\":" +
+           fmt(c.keyspace.zipf_s) + "},\"fault_plan\":\"" +
            json_escape(c.fault_plan) + "\",\"trials\":" +
            std::to_string(c.trials) + ",\"atomic_trials\":" +
            std::to_string(c.atomic_trials) + ",\"expected_atomic\":" +

@@ -22,6 +22,8 @@ struct CellStats {
   std::string protocol;
   ClusterConfig cfg;
   std::string fault_plan;  ///< plan name; "" = fault-free cell
+  /// Keyspace point (num_keys == 0 on classic single-register cells).
+  KeyspaceConfig keyspace;
 
   int trials = 0;
   int atomic_trials = 0;        ///< trials every enabled checker passed

@@ -1,6 +1,7 @@
 #include "exp/runner.h"
 
 #include <atomic>
+#include <cstring>
 #include <mutex>
 #include <set>
 #include <stdexcept>
@@ -52,6 +53,36 @@ std::string ExperimentSpec::validate() const {
       return "duplicate fault plan name: " + plan.name;
     }
   }
+  bool any_multi = false;
+  for (const KeyspaceConfig& ks : keyspaces) {
+    if (!ks.valid()) return "invalid keyspace: " + ks.to_string();
+    any_multi = any_multi || ks.multi();
+  }
+  if (any_multi && !fault_plans.empty()) {
+    return "fault plans cannot cross multi-key keyspaces";
+  }
+  if (table_clients || any_multi) {
+    for (const std::string& p : protocols) {
+      if (!protocol_by_name(p)->supports_table_clients()) {
+        return "protocol has no table client programs: " + p;
+      }
+    }
+  }
+  for (const KeyspaceConfig& ks : keyspaces) {
+    if (!ks.multi()) continue;
+    for (const std::string& p : protocols) {
+      const TableReaderProgram rp = protocol_by_name(p)->table_reader();
+      const bool affine = rp == TableReaderProgram::kFrFull ||
+                          rp == TableReaderProgram::kFrDelta;
+      if (!affine) continue;
+      for (const ClusterConfig& c : clusters) {
+        if (ks.num_keys > c.r()) {
+          return "reader-affine protocol " + p + " needs num_keys <= R (" +
+                 ks.to_string() + " vs " + c.to_string() + ")";
+        }
+      }
+    }
+  }
   return "";
 }
 
@@ -80,10 +111,28 @@ std::uint64_t cell_digest(const std::string& protocol,
   return (h ^ plan.digest()) * 1099511628211ULL;
 }
 
+std::uint64_t cell_digest(const std::string& protocol,
+                          const ClusterConfig& cfg, const FaultPlan* plan,
+                          const KeyspaceConfig& keyspace) {
+  std::uint64_t h = plan != nullptr ? cell_digest(protocol, cfg, *plan)
+                                    : cell_digest(protocol, cfg);
+  // Single-register keyspaces (and the table-clients flag, which is not
+  // mixed at all) keep the historical digest: same seeds, comparable runs.
+  if (!keyspace.multi()) return h;
+  auto mix = [&h](std::uint64_t v) { h = (h ^ v) * 1099511628211ULL; };
+  mix(static_cast<std::uint64_t>(keyspace.num_keys));
+  mix(static_cast<std::uint64_t>(keyspace.shards));
+  std::uint64_t zbits = 0;
+  static_assert(sizeof zbits == sizeof keyspace.zipf_s, "double is 64-bit");
+  std::memcpy(&zbits, &keyspace.zipf_s, sizeof zbits);
+  mix(zbits);
+  return h;
+}
+
 TrialResult run_trial(const ExperimentSpec& spec, int spec_index,
                       int cell_index, const std::string& protocol,
                       const ClusterConfig& cfg, std::uint64_t user_seed,
-                      const FaultPlan* plan) {
+                      const FaultPlan* plan, const KeyspaceConfig* keyspace) {
   const Protocol* proto = protocol_by_name(protocol);
   if (proto == nullptr) {
     throw std::invalid_argument("unknown protocol: " + protocol);
@@ -95,33 +144,50 @@ TrialResult run_trial(const ExperimentSpec& spec, int spec_index,
   tr.protocol = protocol;
   tr.cfg = cfg;
   if (plan != nullptr) tr.fault_plan = plan->name;
+  if (keyspace != nullptr) tr.keyspace = *keyspace;
   tr.user_seed = user_seed;
-  tr.harness_seed = derive_seed(
-      user_seed, plan != nullptr ? cell_digest(protocol, cfg, *plan)
-                                 : cell_digest(protocol, cfg));
+  tr.harness_seed =
+      derive_seed(user_seed, cell_digest(protocol, cfg, plan, tr.keyspace));
   tr.expected_atomic = proto->guarantees_atomicity(cfg);
 
   SimHarness::Options o;
   o.cfg = cfg;
   o.seed = tr.harness_seed;
   o.fifo = spec.fifo;
+  o.keyspace = tr.keyspace;
+  o.table_clients = spec.table_clients || tr.keyspace.multi();
   if (spec.delay) o.delay = spec.delay(cfg);
   SimHarness h(*proto, std::move(o));
   if (plan != nullptr) h.install_fault_plan(*plan);
-  run_random_workload(h, spec.workload);
-
-  const CheckResult tag = check_tag_witness(h.history());
-  tr.tag_atomic = tag.atomic;
-  if (!tag.atomic) tr.violation = tag.violation;
-  if (spec.check_graph) {
-    const CheckResult graph = check_unique_value_graph(h.history());
-    tr.graph_atomic = graph.atomic;
-    if (!graph.atomic && tr.violation.empty()) tr.violation = graph.violation;
+  if (tr.keyspace.multi()) {
+    run_keyspace_workload(h, spec.workload);
+  } else {
+    run_random_workload(h, spec.workload);
   }
 
-  tr.write_ms = latency_samples_ms(h.history(), OpKind::kWrite);
-  tr.read_ms = latency_samples_ms(h.history(), OpKind::kRead);
-  tr.completed_ops = h.history().completed_count();
+  // The trial is atomic iff every per-key history is (one history on the
+  // classic layout). Latencies pool across keys.
+  tr.tag_atomic = true;
+  for (int k = 0; k < h.num_keys(); ++k) {
+    const History& hist = h.key_history(k);
+    const CheckResult tag = check_tag_witness(hist);
+    if (!tag.atomic) {
+      tr.tag_atomic = false;
+      if (tr.violation.empty()) tr.violation = tag.violation;
+    }
+    if (spec.check_graph) {
+      const CheckResult graph = check_unique_value_graph(hist);
+      if (!graph.atomic) {
+        tr.graph_atomic = false;
+        if (tr.violation.empty()) tr.violation = graph.violation;
+      }
+    }
+    const std::vector<double> w = latency_samples_ms(hist, OpKind::kWrite);
+    const std::vector<double> r = latency_samples_ms(hist, OpKind::kRead);
+    tr.write_ms.insert(tr.write_ms.end(), w.begin(), w.end());
+    tr.read_ms.insert(tr.read_ms.end(), r.begin(), r.end());
+    tr.completed_ops += hist.completed_count();
+  }
   tr.msgs_sent = h.net().stats().sent;
   tr.sim_events = h.sim().executed();
   if (h.fault_log() != nullptr) {
@@ -144,7 +210,8 @@ struct PendingTrial {
   int cell_index;
   const std::string* protocol;
   const ClusterConfig* cfg;
-  const FaultPlan* plan;  ///< null = fault-free
+  const FaultPlan* plan;          ///< null = fault-free
+  const KeyspaceConfig* keyspace; ///< null = classic single register
   std::uint64_t user_seed;
 };
 
@@ -155,17 +222,23 @@ std::vector<PendingTrial> expand(const std::vector<ExperimentSpec>& specs) {
     const ExperimentSpec& spec = specs[si];
     for (const std::string& p : spec.protocols) {
       for (const ClusterConfig& c : spec.clusters) {
-        for (int pi = 0; pi < spec.plans(); ++pi) {
-          const FaultPlan* plan =
-              spec.fault_plans.empty()
+        for (int ki = 0; ki < spec.keyspace_points(); ++ki) {
+          const KeyspaceConfig* ks =
+              spec.keyspaces.empty()
                   ? nullptr
-                  : &spec.fault_plans[static_cast<std::size_t>(pi)];
-          for (int k = 0; k < spec.seeds; ++k) {
-            out.push_back(
-                PendingTrial{&spec, static_cast<int>(si), cell, &p, &c, plan,
-                             spec.seed_lo + static_cast<unsigned>(k)});
+                  : &spec.keyspaces[static_cast<std::size_t>(ki)];
+          for (int pi = 0; pi < spec.plans(); ++pi) {
+            const FaultPlan* plan =
+                spec.fault_plans.empty()
+                    ? nullptr
+                    : &spec.fault_plans[static_cast<std::size_t>(pi)];
+            for (int k = 0; k < spec.seeds; ++k) {
+              out.push_back(
+                  PendingTrial{&spec, static_cast<int>(si), cell, &p, &c, plan,
+                               ks, spec.seed_lo + static_cast<unsigned>(k)});
+            }
+            ++cell;
           }
-          ++cell;
         }
       }
     }
@@ -214,7 +287,8 @@ std::vector<TrialResult> Runner::run_all(
       const PendingTrial& t = pending[i];
       try {
         results[i] = run_trial(*t.spec, t.spec_index, t.cell_index,
-                               *t.protocol, *t.cfg, t.user_seed, t.plan);
+                               *t.protocol, *t.cfg, t.user_seed, t.plan,
+                               t.keyspace);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mu);
         if (!first_error) first_error = std::current_exception();

@@ -27,6 +27,8 @@ struct TrialResult {
   std::string protocol;
   ClusterConfig cfg;
   std::string fault_plan;          ///< plan name; "" = fault-free
+  /// Keyspace point (num_keys == 0 on classic single-register trials).
+  KeyspaceConfig keyspace;
   std::uint64_t user_seed = 0;     ///< seed_lo + k, as reported to humans
   std::uint64_t harness_seed = 0;  ///< derive_seed(user_seed, cell_digest)
 
@@ -84,7 +86,8 @@ class Runner {
 TrialResult run_trial(const ExperimentSpec& spec, int spec_index,
                       int cell_index, const std::string& protocol,
                       const ClusterConfig& cfg, std::uint64_t user_seed,
-                      const FaultPlan* plan = nullptr);
+                      const FaultPlan* plan = nullptr,
+                      const KeyspaceConfig* keyspace = nullptr);
 
 /// Stable identity of a cell, used as the derive_seed stream: depends only
 /// on the protocol name, cluster shape, and fault plan, so re-running one
@@ -94,5 +97,11 @@ std::uint64_t cell_digest(const std::string& protocol,
                           const ClusterConfig& cfg);
 std::uint64_t cell_digest(const std::string& protocol,
                           const ClusterConfig& cfg, const FaultPlan& plan);
+/// All-axes form. Single-register keyspaces (num_keys <= 1) do not change
+/// the digest — a 1-key table-driven cell reuses its classic seeds, which
+/// is what makes object-vs-table parity checkable bit for bit.
+std::uint64_t cell_digest(const std::string& protocol,
+                          const ClusterConfig& cfg, const FaultPlan* plan,
+                          const KeyspaceConfig& keyspace);
 
 }  // namespace mwreg::exp

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/cluster.h"
+#include "core/keyspace.h"
 #include "core/workload.h"
 #include "sim/delay_model.h"
 #include "sim/fault_plan.h"
@@ -66,6 +67,20 @@ struct ExperimentSpec {
   /// Closed-loop workload driven against every trial harness.
   WorkloadOptions workload;
 
+  /// Keyspace axis: every entry is crossed with every
+  /// (protocol, cluster, plan) triple. Empty means one classic
+  /// single-register run per triple. Multi-key entries (num_keys > 1)
+  /// require table-client protocols and are incompatible with fault_plans;
+  /// they run the keyed Zipfian workload (run_keyspace_workload) and check
+  /// every per-key history.
+  std::vector<KeyspaceConfig> keyspaces;
+
+  /// Drive trials through the ClientTable instead of per-object clients.
+  /// Wire-identical on single-register cells — deliberately NOT part of
+  /// cell_digest, so flipping it reproduces the same harness seeds (and,
+  /// for supporting protocols, bit-identical results).
+  bool table_clients = false;
+
   /// FIFO per-link delivery (SimHarness::Options::fifo).
   bool fifo = false;
 
@@ -77,8 +92,13 @@ struct ExperimentSpec {
   [[nodiscard]] int plans() const {
     return fault_plans.empty() ? 1 : static_cast<int>(fault_plans.size());
   }
+  /// One classic single-register point when keyspaces is empty.
+  [[nodiscard]] int keyspace_points() const {
+    return keyspaces.empty() ? 1 : static_cast<int>(keyspaces.size());
+  }
   [[nodiscard]] int cells() const {
-    return static_cast<int>(protocols.size() * clusters.size()) * plans();
+    return static_cast<int>(protocols.size() * clusters.size()) * plans() *
+           keyspace_points();
   }
   [[nodiscard]] int trials() const { return cells() * seeds; }
 

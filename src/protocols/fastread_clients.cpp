@@ -56,7 +56,7 @@ bool exists_common_subset(const std::vector<std::uint64_t>& sets, int a,
 }  // namespace
 
 bool admissible(const TaggedValue& v, const std::vector<FrView>& msgs, int a,
-                int num_servers, int max_faulty) {
+                int num_servers, int max_faulty, NodeId bit_base) {
   // mu must be nonempty (an empty witness set would make everything
   // admissible); in valid configurations S - a*t > t >= 1 anyway.
   const int need = std::max(1, num_servers - a * max_faulty);
@@ -68,8 +68,8 @@ bool admissible(const TaggedValue& v, const std::vector<FrView>& msgs, int a,
       if (e.value == v) {
         std::uint64_t mask = 0;
         for (NodeId c : e.updated) {
-          assert(c >= 0 && c < 64);
-          mask |= 1ULL << c;
+          assert(c >= bit_base && c - bit_base < 64);
+          mask |= 1ULL << (c - bit_base);
         }
         sets.push_back(mask);
         break;
@@ -81,24 +81,24 @@ bool admissible(const TaggedValue& v, const std::vector<FrView>& msgs, int a,
 
 bool admissible(const TaggedValue& v,
                 const std::vector<std::vector<FrEntry>>& msgs, int a,
-                int num_servers, int max_faulty) {
+                int num_servers, int max_faulty, NodeId bit_base) {
   std::vector<FrView> views;
   views.reserve(msgs.size());
   for (const std::vector<FrEntry>& m : msgs) {
     views.push_back(FrView{m.data(), m.size()});
   }
-  return admissible(v, views, a, num_servers, max_faulty);
+  return admissible(v, views, a, num_servers, max_faulty, bit_base);
 }
 
-TaggedValue FastReader::pick_admissible(
-    const std::vector<TaggedValue>& cands,
-    const std::vector<FrView>& views) const {
+TaggedValue fr_pick_admissible(const std::vector<TaggedValue>& cands,
+                               const std::vector<FrView>& views, int r, int s,
+                               int t, NodeId bit_base) {
   // Return the largest admissible candidate. Lemma 3 guarantees the loop
-  // terminates: the max of the valQueue we sent is admissible with degree
-  // 1, since every server confirmed it before replying.
+  // terminates: the max of the valQueue the reader sent is admissible with
+  // degree 1, since every server confirmed it before replying.
   for (auto it = cands.rbegin(); it != cands.rend(); ++it) {
-    for (int a = 1; a <= cfg().r() + 1; ++a) {
-      if (admissible(*it, views, a, cfg().s(), cfg().t())) return *it;
+    for (int a = 1; a <= r + 1; ++a) {
+      if (admissible(*it, views, a, s, t, bit_base)) return *it;
     }
   }
   // Unreachable in a correct configuration; return bottom defensively.
@@ -139,7 +139,8 @@ void FastReader::read_full(std::function<void(TaggedValue)> done) {
         }
         std::sort(cand_.begin(), cand_.end());
         cand_.erase(std::unique(cand_.begin(), cand_.end()), cand_.end());
-        done(pick_admissible(cand_, views_));
+        done(fr_pick_admissible(cand_, views_, cfg().r(), cfg().s(),
+                                cfg().t()));
       });
 }
 
@@ -151,7 +152,7 @@ void FastReader::read_delta(std::function<void(TaggedValue)> done) {
   queue_scratch_.clear();
   queue_scratch_.push_back(watermark_);
   acked_scratch_.clear();
-  for (const ServerCache& c : caches_) acked_scratch_.push_back(c.rev);
+  for (const FrServerCache& c : caches_) acked_scratch_.push_back(c.rev);
   ByteWriter w(pool().acquire());
   encode_delta_read_req_into(w, queue_scratch_, acked_scratch_.data(),
                              acked_scratch_.size());
@@ -161,8 +162,8 @@ void FastReader::read_delta(std::function<void(TaggedValue)> done) {
         views_.clear();
         cand_.clear();
         for (const ServerReply& r : replies) {
-          ServerCache& cache = caches_[static_cast<std::size_t>(r.server)];
-          const bool ok = apply_delta(cache, r.payload);
+          FrServerCache& cache = caches_[static_cast<std::size_t>(r.server)];
+          const bool ok = fr_apply_delta(cache, r.payload, entry_scratch_);
           assert(ok && "malformed kFrReadAckDelta");
           (void)ok;
           views_.push_back(FrView{cache.entries.data(), cache.entries.size()});
@@ -172,7 +173,8 @@ void FastReader::read_delta(std::function<void(TaggedValue)> done) {
         }
         std::sort(cand_.begin(), cand_.end());
         cand_.erase(std::unique(cand_.begin(), cand_.end()), cand_.end());
-        const TaggedValue v = pick_admissible(cand_, views_);
+        const TaggedValue v =
+            fr_pick_admissible(cand_, views_, cfg().r(), cfg().s(), cfg().t());
         // valQueue semantics, compressed: the watermark is the max of
         // everything ever received (>= the value returned below).
         if (!cand_.empty()) watermark_ = std::max(watermark_, cand_.back());
@@ -180,8 +182,9 @@ void FastReader::read_delta(std::function<void(TaggedValue)> done) {
       });
 }
 
-bool FastReader::apply_delta(ServerCache& cache,
-                             const std::vector<std::uint8_t>& payload) {
+bool fr_apply_delta(FrServerCache& cache,
+                    const std::vector<std::uint8_t>& payload,
+                    FrEntry& scratch) {
   ByteReader r(payload);
   const FrDeltaHeader h = get_delta_ack_header(r);
   if (!r.ok()) return false;
@@ -194,17 +197,16 @@ bool FastReader::apply_delta(ServerCache& cache,
   cache.entries.erase(cache.entries.begin(), floor_it);
   // Upsert the changed entries (streamed in ascending tag order).
   for (std::uint64_t i = 0; i < h.count && r.ok(); ++i) {
-    decode_fr_entry_into(r, entry_scratch_);
+    decode_fr_entry_into(r, scratch);
     if (!r.ok()) break;
     const auto it = std::lower_bound(
-        cache.entries.begin(), cache.entries.end(), entry_scratch_.value.tag,
+        cache.entries.begin(), cache.entries.end(), scratch.value.tag,
         [](const FrEntry& e, const Tag& t) { return e.value.tag < t; });
-    if (it != cache.entries.end() &&
-        it->value.tag == entry_scratch_.value.tag) {
-      it->value = entry_scratch_.value;
-      it->updated = entry_scratch_.updated;  // copy-assign reuses capacity
+    if (it != cache.entries.end() && it->value.tag == scratch.value.tag) {
+      it->value = scratch.value;
+      it->updated = scratch.updated;  // copy-assign reuses capacity
     } else {
-      cache.entries.insert(it, entry_scratch_);
+      cache.entries.insert(it, scratch);
     }
   }
   // Only ack a fully applied delta: on a truncated payload the loop above

@@ -34,14 +34,42 @@ namespace mwreg {
 /// every chosen message's updated set for v. Equivalently: exists a set T of
 /// `a` clients with T contained in at least S - a*t of v's updated sets.
 /// Messages are non-owning views so hot paths can back them with reusable
-/// arenas or caches.
+/// arenas or caches. `bit_base` rebases client NodeIds into the 64-bit
+/// witness masks (updated sets hold ids in [bit_base, bit_base + 64)); the
+/// verdict is shift-invariant, so any base covering the group's clients
+/// gives identical answers.
 bool admissible(const TaggedValue& v, const std::vector<FrView>& msgs, int a,
-                int num_servers, int max_faulty);
+                int num_servers, int max_faulty, NodeId bit_base = 0);
 
 /// Convenience overload over owning nested vectors (tests, offline tools).
 bool admissible(const TaggedValue& v,
                 const std::vector<std::vector<FrEntry>>& msgs, int a,
-                int num_servers, int max_faulty);
+                int num_servers, int max_faulty, NodeId bit_base = 0);
+
+/// Reconstructed view of one server's valuevector (delta/gc mode): the
+/// entries the server held at its last reply, sorted by tag, plus the reply
+/// revision the reader acknowledges on its next request. Shared between the
+/// object FastReader and the table-driven clients (core/client_table.h).
+struct FrServerCache {
+  std::uint64_t rev = 0;
+  std::vector<FrEntry> entries;
+};
+
+/// Apply one kFrReadAckDelta payload to `cache`: drop entries below the
+/// server's GC floor, upsert the streamed entries, and ack the revision only
+/// when the whole delta decoded. `scratch` is a caller-owned reusable decode
+/// buffer (its vectors keep their capacity across calls). Returns false on
+/// malformed input.
+bool fr_apply_delta(FrServerCache& cache,
+                    const std::vector<std::uint8_t>& payload, FrEntry& scratch);
+
+/// Largest candidate admissible at some degree a in [1, r+1] — the shared
+/// decision of the full and delta read paths. `cands` must be sorted
+/// ascending, unique. Returns bottom if nothing is admissible (unreachable
+/// in a correct configuration).
+TaggedValue fr_pick_admissible(const std::vector<TaggedValue>& cands,
+                               const std::vector<FrView>& views, int r, int s,
+                               int t, NodeId bit_base = 0);
 
 class FastReader final : public RpcClient, public ReaderApi {
  public:
@@ -80,31 +108,14 @@ class FastReader final : public RpcClient, public ReaderApi {
   }
 
  private:
-  /// Reconstructed view of one server's valuevector (gc mode): the entries
-  /// the server held at its last reply, sorted by tag, plus the reply
-  /// revision the reader acknowledges on its next request.
-  struct ServerCache {
-    std::uint64_t rev = 0;
-    std::vector<FrEntry> entries;
-  };
-
   void read_full(std::function<void(TaggedValue)> done);
   void read_delta(std::function<void(TaggedValue)> done);
-
-  /// Apply one kFrReadAckDelta to `cache`; returns false on malformed input.
-  bool apply_delta(ServerCache& cache,
-                   const std::vector<std::uint8_t>& payload);
-
-  /// Largest candidate admissible at some degree a in [1, R+1] — the shared
-  /// decision of both read paths. `cands` must be sorted ascending, unique.
-  TaggedValue pick_admissible(const std::vector<TaggedValue>& cands,
-                              const std::vector<FrView>& views) const;
 
   bool gc_enabled_ = false;
   std::set<TaggedValue> val_queue_;
 
   // gc-mode state
-  std::vector<ServerCache> caches_;
+  std::vector<FrServerCache> caches_;
   TaggedValue watermark_{};
 
   // reusable per-read scratch (both modes)

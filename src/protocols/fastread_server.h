@@ -60,7 +60,9 @@ class FastReadServer final : public ServerBase {
     // valuevector starts with the bottom value; under GC it carries
     // revision 1 so a reader that has acked nothing (rev 0) receives it.
     entries_[kBottomTag].rev = ++rev_seq_;
-    watermark_.resize(static_cast<std::size_t>(cfg.total_nodes()));
+    // Indexed by NodeId, so size to the end of the id space: in a re-based
+    // keyspace group the reader ids sit far above total_nodes().
+    watermark_.resize(static_cast<std::size_t>(cfg.id_end()));
   }
 
   [[nodiscard]] const TaggedValue& current() const { return vali_; }
@@ -156,7 +158,10 @@ class FastReadServer final : public ServerBase {
     for (const TaggedValue& v : req_queue_) update(v, req.src);
     confirm_all(req.src);
     note_watermark(req.src);
-    const std::size_t self = static_cast<std::size_t>(id());
+    // Readers order the ack array by server index within the group, so a
+    // re-based group (multi-key shards) must subtract its base; the classic
+    // layout has server_base == 0 and is unchanged.
+    const std::size_t self = static_cast<std::size_t>(id() - cfg().server_base);
     const std::uint64_t acked =
         self < req_acks_.size() ? req_acks_[self] : 0;
 

@@ -120,7 +120,11 @@ std::unique_ptr<ReaderApi> RegularFastReadProtocol::make_reader(
 
 std::unique_ptr<Process> FastSwmrProtocol::make_server(
     NodeId id, Network& net, const ClusterConfig& cfg) const {
-  return std::make_unique<FastReadServer>(id, net, cfg);
+  // GC + delta acks by default (PR 4's bounded-memory path): a single
+  // writer still grows the valuevector with every write without it.
+  FastReadServer::Options o;
+  o.gc_enabled = true;
+  return std::make_unique<FastReadServer>(id, net, cfg, o);
 }
 std::unique_ptr<WriterApi> FastSwmrProtocol::make_writer(
     NodeId id, Network& net, const ClusterConfig& cfg) const {
@@ -128,7 +132,7 @@ std::unique_ptr<WriterApi> FastSwmrProtocol::make_writer(
 }
 std::unique_ptr<ReaderApi> FastSwmrProtocol::make_reader(
     NodeId id, Network& net, const ClusterConfig& cfg) const {
-  return std::make_unique<FastReader>(id, net, cfg);
+  return std::make_unique<FastReader>(id, net, cfg, /*gc_enabled=*/true);
 }
 
 // ---- Registry ----

@@ -27,6 +27,12 @@ class MwAbdProtocol final : public Protocol {
   bool guarantees_atomicity(const ClusterConfig& cfg) const override {
     return cfg.supports_w2r2();
   }
+  TableWriterProgram table_writer() const override {
+    return TableWriterProgram::kAbdTwoRound;
+  }
+  TableReaderProgram table_reader() const override {
+    return TableReaderProgram::kAbdTwoRound;
+  }
   std::unique_ptr<Process> make_server(
       NodeId id, Network& net, const ClusterConfig& cfg) const override;
   std::unique_ptr<WriterApi> make_writer(
@@ -42,6 +48,12 @@ class AbdSwmrProtocol final : public Protocol {
   int read_round_trips() const override { return 2; }
   bool guarantees_atomicity(const ClusterConfig& cfg) const override {
     return cfg.w() == 1 && cfg.supports_w2r2();
+  }
+  TableWriterProgram table_writer() const override {
+    return TableWriterProgram::kAbdLocalTs;
+  }
+  TableReaderProgram table_reader() const override {
+    return TableReaderProgram::kAbdTwoRound;
   }
   std::unique_ptr<Process> make_server(
       NodeId id, Network& net, const ClusterConfig& cfg) const override;
@@ -60,6 +72,12 @@ class NaiveFastWriteProtocol final : public Protocol {
     // Theorem 1: no W1R2 implementation exists for W>=2, R>=2, t>=1.
     return cfg.w() == 1 && cfg.supports_w2r2();
   }
+  TableWriterProgram table_writer() const override {
+    return TableWriterProgram::kAbdLocalTs;
+  }
+  TableReaderProgram table_reader() const override {
+    return TableReaderProgram::kAbdTwoRound;
+  }
   std::unique_ptr<Process> make_server(
       NodeId id, Network& net, const ClusterConfig& cfg) const override;
   std::unique_ptr<WriterApi> make_writer(
@@ -75,6 +93,12 @@ class FastReadMwProtocol final : public Protocol {
   int read_round_trips() const override { return 1; }
   bool guarantees_atomicity(const ClusterConfig& cfg) const override {
     return cfg.supports_fast_read();
+  }
+  TableWriterProgram table_writer() const override {
+    return TableWriterProgram::kFrQueryThenWrite;
+  }
+  TableReaderProgram table_reader() const override {
+    return TableReaderProgram::kFrFull;
   }
   std::unique_ptr<Process> make_server(
       NodeId id, Network& net, const ClusterConfig& cfg) const override;
@@ -102,6 +126,12 @@ class GcFastReadMwProtocol final : public Protocol {
   bool guarantees_atomicity(const ClusterConfig& cfg) const override {
     return cfg.supports_fast_read();
   }
+  TableWriterProgram table_writer() const override {
+    return TableWriterProgram::kFrQueryThenWrite;
+  }
+  TableReaderProgram table_reader() const override {
+    return TableReaderProgram::kFrDelta;
+  }
   std::unique_ptr<Process> make_server(
       NodeId id, Network& net, const ClusterConfig& cfg) const override;
   std::unique_ptr<WriterApi> make_writer(
@@ -123,6 +153,14 @@ class LiteralFastReadMwProtocol final : public Protocol {
   bool guarantees_atomicity(const ClusterConfig&) const override {
     return false;  // the ablation shows why
   }
+  // The ablation only changes the server; the clients are the stock
+  // Algorithm 1 programs, so the table can drive this variant too.
+  TableWriterProgram table_writer() const override {
+    return TableWriterProgram::kFrQueryThenWrite;
+  }
+  TableReaderProgram table_reader() const override {
+    return TableReaderProgram::kFrFull;
+  }
   std::unique_ptr<Process> make_server(
       NodeId id, Network& net, const ClusterConfig& cfg) const override;
   std::unique_ptr<WriterApi> make_writer(
@@ -143,6 +181,12 @@ class RegularFastReadProtocol final : public Protocol {
   bool guarantees_atomicity(const ClusterConfig&) const override {
     return false;  // regular only
   }
+  TableWriterProgram table_writer() const override {
+    return TableWriterProgram::kAbdTwoRound;
+  }
+  TableReaderProgram table_reader() const override {
+    return TableReaderProgram::kAbdOneRoundMax;
+  }
   std::unique_ptr<Process> make_server(
       NodeId id, Network& net, const ClusterConfig& cfg) const override;
   std::unique_ptr<WriterApi> make_writer(
@@ -151,6 +195,12 @@ class RegularFastReadProtocol final : public Protocol {
       NodeId id, Network& net, const ClusterConfig& cfg) const override;
 };
 
+/// Since PR 5 the W1R1 protocol runs with valuevector GC and delta read
+/// acks by default — the same bounded-memory path as fast-read-mw-gc, which
+/// a single writer benefits from just as much (the valuevector otherwise
+/// grows with every write). Observational behavior (round-trips, verdicts)
+/// is unchanged; message *contents* differ from the pre-PR-5 full-ack wire
+/// format, which is why bench baselines were refreshed alongside.
 class FastSwmrProtocol final : public Protocol {
  public:
   std::string name() const override { return "fast-swmr(W1R1)"; }
@@ -158,6 +208,12 @@ class FastSwmrProtocol final : public Protocol {
   int read_round_trips() const override { return 1; }
   bool guarantees_atomicity(const ClusterConfig& cfg) const override {
     return cfg.w() == 1 && cfg.supports_fast_read();
+  }
+  TableWriterProgram table_writer() const override {
+    return TableWriterProgram::kFrLocalTs;
+  }
+  TableReaderProgram table_reader() const override {
+    return TableReaderProgram::kFrDelta;
   }
   std::unique_ptr<Process> make_server(
       NodeId id, Network& net, const ClusterConfig& cfg) const override;

@@ -59,10 +59,11 @@ class BufferPool {
   [[nodiscard]] std::size_t idle_buffers() const { return free_.size(); }
 
  private:
-  /// Bounds pool memory under pathological fan-out; far above the working
-  /// set of any sweep workload (a trial holds a few in-flight messages per
-  /// client-server pair).
-  static constexpr std::size_t kMaxFree = 4096;
+  /// Bounds pool memory under pathological fan-out. Sized for million-client
+  /// table-driven workloads, whose in-flight working set legitimately
+  /// fluctuates by far more than the old 4096 cap: releasing a burst only to
+  /// re-acquire it a tick later would show up as steady-state allocations.
+  static constexpr std::size_t kMaxFree = 1 << 20;
 
   std::vector<Buffer> free_;
   Stats stats_;

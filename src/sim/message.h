@@ -16,6 +16,11 @@ struct Message {
   NodeId src = kNoNode;
   NodeId dst = kNoNode;
   MsgType type = 0;
+  /// Register this request addresses in a multi-key deployment (0 for the
+  /// classic single-register setup). Replies are matched by (dst, rpc_id)
+  /// and need not echo it. Fills the padding hole after `type`, so the
+  /// struct size — and the inline delivery-closure budget — is unchanged.
+  std::uint32_t key = 0;
   /// Matches a reply to the round-trip (RPC) that solicited it.
   std::uint64_t rpc_id = 0;
   /// Protocol payload, encoded with common/codec.h.

@@ -21,10 +21,10 @@ std::uint32_t Simulator::acquire_slot() {
   const std::uint32_t slot =
       static_cast<std::uint32_t>(chunks_.size() * kChunkRecords);
   // Enforced in every build type: past this, packed heap keys would alias
-  // slots and dispatch the wrong closures. ~1M *concurrently pending*
+  // slots and dispatch the wrong closures. ~16M *concurrently pending*
   // events means a runaway scheduling loop, not a real workload.
   if (slot + kChunkRecords - 1 > kSlotMask) {
-    throw std::length_error("Simulator: over 2^20 concurrently pending events");
+    throw std::length_error("Simulator: over 2^24 concurrently pending events");
   }
   chunks_.push_back(std::make_unique<Chunk>());
   ++alloc_stats_.slab_chunks;

@@ -87,9 +87,10 @@ class Simulator {
   /// Slot indices share a word with the tie-break sequence: seq lives in
   /// the high bits, so comparing keys orders by seq exactly (sequences are
   /// unique), and the entry stays 16 bytes for cache-friendly sifting.
-  /// 2^20 slots bounds *concurrently pending* events at ~1M (a sweep trial
-  /// holds tens); 2^44 sequences bounds total events per simulator.
-  static constexpr unsigned kSlotBits = 20;
+  /// 2^24 slots bounds *concurrently pending* events at ~16M — enough for
+  /// 10^6 table-driven clients each holding a think-timer plus an in-flight
+  /// fan-out; 2^40 sequences bounds total events per simulator.
+  static constexpr unsigned kSlotBits = 24;
   static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
 
   struct HeapEntry {

@@ -185,6 +185,42 @@ TEST(AllocRegression, LegacySnapshotArenaReusesSlotsAcrossReads) {
   EXPECT_EQ(grows2 - grows, 0u);
 }
 
+TEST(AllocRegression, HundredThousandTableClientsSteadyStateAllocatesNothing) {
+  // The million-client redesign's core claim: one harness, 10^5 concurrent
+  // table-driven clients over a 64-key Zipfian keyspace, and once the event
+  // slab, payload pool, and per-slot state are warm, further closed-loop
+  // traffic allocates nothing from the engine or the pool.
+  const Protocol* proto = protocol_by_name("mw-abd(W2R2)");
+  ASSERT_NE(proto, nullptr);
+  SimHarness::Options o;
+  o.cfg = ClusterConfig{5, 50'000, 50'000, 1};
+  o.keyspace = KeyspaceConfig{64, 8, 0.99};
+  o.seed = 42;
+  SimHarness h(*proto, std::move(o));
+  ASSERT_TRUE(h.table_mode());
+
+  WorkloadOptions w;
+  w.ops_per_writer = 2;
+  w.ops_per_reader = 2;
+  run_keyspace_workload(h, w);  // warmup: 2 * 10^5 closed-loop ops
+
+  const std::uint64_t engine_allocs = h.sim().allocations();
+  const BufferPool::Stats pool_warm = h.net().pool().stats();
+  EXPECT_GT(pool_warm.acquired, 0u);
+
+  WorkloadOptions w2;
+  w2.ops_per_writer = 1;
+  w2.ops_per_reader = 1;
+  run_keyspace_workload(h, w2);  // steady state: 10^5 more ops, same table
+
+  EXPECT_EQ(h.sim().allocations() - engine_allocs, 0u)
+      << "slab chunks or closure heap-spills grew after warmup";
+  EXPECT_EQ(h.net().pool().stats().misses - pool_warm.misses, 0u)
+      << "a payload buffer was allocated fresh after warmup";
+  EXPECT_GT(h.net().pool().stats().acquired, pool_warm.acquired);
+  EXPECT_EQ(h.sim().alloc_stats().heap_spills, 0u);
+}
+
 TEST(AllocRegression, DeliveryClosureFitsTheInlineEventBudget) {
   // The per-hop closure (Network pointer + Message + send time) must stay
   // inside the simulator's inline storage: a heap spill on the delivery
