@@ -13,7 +13,7 @@ namespace {
 class Sink final : public Process {
  public:
   Sink(NodeId id, Network& net) : Process(id, net) {}
-  void on_message(const Message& m) override {
+  void on_message(const Frame& m) override {
     ++received;
     if (echo && m.type == 1) send(m.src, 2, m.rpc_id, {});
   }
@@ -33,7 +33,7 @@ void report() {
     Sink a(0, net), b(1, net);
     b.echo = true;
     std::uint64_t digest = 0;
-    net.set_delivery_hook([&](const Message& m, Time, Time d) {
+    net.set_delivery_hook([&](const Frame& m, Time, Time d) {
       digest = digest * 1315423911u + static_cast<std::uint64_t>(d) + m.type;
     });
     for (int i = 0; i < 200; ++i) {

@@ -4,19 +4,34 @@
 //
 // Next to the plain-text report this bench writes BENCH_simcore.json, the
 // artifact of the perf trajectory that scripts/bench_trend.py gates CI on.
-// Schema (schema_version 2):
+// Schema (schema_version 4):
 //
 //   {
 //     "bench": "simcore_throughput",
-//     "schema_version": 2,
+//     "schema_version": 4,
 //     "engine_comparison": {            // same W2R1-shaped hop stream
 //       "workload": "w2r1_replay_uniform_delay",
-//       "hops": <uint>,                 //   through both engines
+//       "hops": <uint>,                 //   through all three engines
 //       "legacy_events_per_sec": <f>,   // priority_queue + std::function +
 //                                       //   fresh vectors + std::set checks
 //       "pooled_events_per_sec": <f>,   // slab heap + inline closures +
 //                                       //   BufferPool + dense checks
-//       "speedup": <f>                  // pooled / legacy
+//       "batched_events_per_sec": <f>,  // per-tick slab batches, one heap
+//                                       //   event per tick (this PR)
+//       "speedup": <f>,                 // pooled / legacy
+//       "batched_speedup": <f>          // batched / pooled
+//     },
+//     "coalescing": {                   // same hop stream through the REAL
+//       "workload": "w2r1_replay_real_network",
+//       "frames": <uint>,               //   Network, both delivery engines
+//       "per_message_events_per_sec": <f>,  // one heap event per message
+//       "coalesced_events_per_sec": <f>,    // one per delivery tick
+//       "coalesce_speedup": <f>,        // coalesced / per_message
+//       "batches": <uint>,
+//       "frames_per_batch": <f>,
+//       "batch_size_hist": [{"ge": <uint>, "count": <uint>}, ...],
+//       "steady_engine_allocs": <uint>, // post-warmup replay deltas;
+//       "steady_pool_misses": <uint>    //   0 = allocation-free
 //     },
 //     "workloads": [                    // end-to-end harness runs
 //       {"protocol": <s>, "cluster": <s>, "ops_per_client": <int>,
@@ -31,6 +46,7 @@
 //     "million_client": [               // table-driven keyspace runs
 //       {"protocol": <s>, "keyspace": <s>,
 //        "clients": <int>, "ops_per_client": <int>,
+//        "coalesce": <bool>,             // batched delivery, 10us tick
 //        "events": <uint>, "msgs": <uint>, "wall_ms": <f>,
 //        "events_per_sec": <f>,
 //        "write_p99_ms": <f>, "read_p99_ms": <f>,    // pooled across keys
@@ -45,14 +61,21 @@
 //
 // Schema v2 added bytes_on_wire to workload rows and the "valuevector"
 // section (the GC+delta protocol vs. its gc_enabled=false ablation on
-// long-horizon W2R1/W4R4 runs). Schema v3 adds the "million_client"
+// long-horizon W2R1/W4R4 runs). Schema v3 added the "million_client"
 // section: 10^5- and 10^6-op closed loops through ONE harness hosting
-// 10^4/10^5 table-driven clients over a 64-key Zipfian keyspace. Compare
-// runs by diffing events_per_sec per row and the engine_comparison
-// speedup; steady_* columns must stay 0 — or let scripts/bench_trend.py
-// do it against bench/baselines/.
+// 10^4/10^5 table-driven clients over a 64-key Zipfian keyspace. Schema v4
+// adds a batched engine row to engine_comparison (per-tick slab batches,
+// the cost model of this PR's coalesced fast path), the "coalescing"
+// section (per-message vs. batched per-tick delivery through the real
+// Network on the same hop stream, with the batch-size histogram) and a
+// "coalesce" flag + rows to million_client;
+// million_client "events" became the logical frame count so events_per_sec
+// compares across engines. Compare runs by diffing events_per_sec per row
+// and the speedup columns; steady_* columns must stay 0 — or let
+// scripts/bench_trend.py do it against bench/baselines/.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -187,6 +210,95 @@ struct Replayer {
   std::size_t remaining = 0;
 };
 
+/// Batched cost model (the coalesced Network's fast path): no per-hop
+/// buffer and no per-hop heap event. A hop reserves a sequence number,
+/// memcpys its payload into the open slab of its quantized arrival tick,
+/// and rides the single event scheduled when that tick opened; the drain
+/// pays one fault check per run and one heap-top compare per frame — the
+/// exact per-frame work Network::fire_batch does with no fault active.
+struct BatchedReplayer {
+  static constexpr Duration kTick = kMillisecond;
+  /// Direct-mapped per-tick batch. 32 slots cover the 10ms delay horizon
+  /// three times over, so a slot is never reclaimed while still open.
+  struct Tick {
+    Time at = -1;
+    std::vector<std::uint8_t> slab;
+    std::vector<std::uint32_t> sizes;
+    std::vector<std::uint64_t> seqs;
+  };
+
+  BatchedReplayer(const std::vector<Hop>& trace, int rounds)
+      : hops(trace),
+        remaining(trace.size() * static_cast<std::size_t>(rounds)) {
+    ticks.resize(32);
+    std::uint32_t max_sz = 0;
+    for (const Hop& h : trace) max_sz = std::max(max_sz, h.size);
+    scratch.assign(max_sz, 0xA5);
+  }
+
+  void schedule_hop() {
+    if (remaining == 0) return;
+    --remaining;
+    const Hop hop = hops[next];
+    if (++next == hops.size()) next = 0;
+    const std::uint64_t seq = sim.reserve_seq();
+    const Time at =
+        ((sim.now() + hop.delay + kTick - 1) / kTick) * kTick;
+    const std::size_t idx =
+        static_cast<std::size_t>(at / kTick) & (ticks.size() - 1);
+    Tick& t = ticks[idx];
+    if (t.at != at) {
+      t.at = at;
+      t.slab.clear();
+      t.sizes.clear();
+      t.seqs.clear();
+      sim.schedule_at_seq(at, seq, [this, idx] { fire(idx); });
+    }
+    t.slab.insert(t.slab.end(), scratch.data(), scratch.data() + hop.size);
+    t.sizes.push_back(hop.size);
+    t.seqs.push_back(seq);
+  }
+
+  void fire(std::size_t idx) {
+    Tick& t = ticks[idx];
+    const Time at = t.at;
+    t.at = -1;  // close: follow-on hops land on strictly later ticks
+    const std::size_t n = t.sizes.size();
+    const std::uint8_t* base = t.slab.data();
+    std::size_t off = 0;
+    std::size_t i = 0;
+    while (i < n) {
+      std::size_t j = i + 1;
+      while (j < n && !sim.has_event_before(at, t.seqs[j])) ++j;
+      if (num_crashed == 0) {  // one fault check per dispatched run
+        benchmark::DoNotOptimize(base);
+      }
+      for (; i < j; ++i) {
+        benchmark::DoNotOptimize(base + off);
+        off += t.sizes[i];
+        schedule_hop();
+      }
+    }
+  }
+
+  double events_per_sec(int fanout) {
+    const std::size_t total = remaining;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < fanout; ++i) schedule_hop();
+    while (sim.step()) {
+    }
+    return static_cast<double>(total) / seconds_since(t0);
+  }
+
+  Simulator sim;
+  int num_crashed = 0;
+  std::vector<Tick> ticks;
+  const std::vector<Hop>& hops;
+  std::vector<std::uint8_t> scratch;
+  std::size_t next = 0;
+  std::size_t remaining = 0;
+};
+
 /// Payload sizes of every hop of a real W2R1 uniform-delay workload run,
 /// so the replay stresses the engines with the true size distribution.
 std::vector<std::uint32_t> capture_w2r1_hop_sizes(int ops_per_client) {
@@ -197,7 +309,7 @@ std::vector<std::uint32_t> capture_w2r1_hop_sizes(int ops_per_client) {
   o.delay = std::make_unique<UniformDelay>(kMillisecond, 10 * kMillisecond);
   SimHarness h(*p, std::move(o));
   std::vector<std::uint32_t> sizes;
-  h.net().set_delivery_hook([&sizes](const Message& m, Time, Time) {
+  h.net().set_delivery_hook([&sizes](const Frame& m, Time, Time) {
     sizes.push_back(static_cast<std::uint32_t>(m.payload.size()));
   });
   WorkloadOptions w;
@@ -211,13 +323,16 @@ struct EngineComparison {
   std::uint64_t hops = 0;
   double legacy_eps = 0;
   double pooled_eps = 0;
+  double batched_eps = 0;
   [[nodiscard]] double speedup() const {
     return legacy_eps > 0 ? pooled_eps / legacy_eps : 0;
   }
+  [[nodiscard]] double batched_speedup() const {
+    return pooled_eps > 0 ? batched_eps / pooled_eps : 0;
+  }
 };
 
-EngineComparison compare_engines() {
-  const std::vector<std::uint32_t> sizes = capture_w2r1_hop_sizes(300);
+EngineComparison compare_engines(const std::vector<std::uint32_t>& sizes) {
   std::vector<Hop> trace;
   trace.reserve(sizes.size());
   Rng rng(7);
@@ -234,14 +349,166 @@ EngineComparison compare_engines() {
   constexpr int kFanout = 15;  // 3 clients x 5 servers in flight
   constexpr int kRounds = 20;  // cycle the trace: ~300k hops per timed run
   constexpr int kReps = 5;     // best-of, to shed scheduler noise
+  // The batched engine's win is amortization over fan-out, so it replays
+  // at the in-flight count of the regime coalescing targets (the same 512
+  // the real-Network replay below uses); the per-hop cost of the other two
+  // engines is fan-out-independent, so their rows stay comparable.
+  constexpr int kBatchedFanout = 512;
   cmp.hops = trace.size() * kRounds;
   for (int rep = 0; rep < kReps; ++rep) {
     Replayer<LegacyEnv> legacy(trace, kRounds);
     cmp.legacy_eps = std::max(cmp.legacy_eps, legacy.events_per_sec(kFanout));
     Replayer<PooledEnv> pooled(trace, kRounds);
     cmp.pooled_eps = std::max(cmp.pooled_eps, pooled.events_per_sec(kFanout));
+    BatchedReplayer batched(trace, kRounds);
+    cmp.batched_eps =
+        std::max(cmp.batched_eps, batched.events_per_sec(kBatchedFanout));
   }
   return cmp;
+}
+
+// ---- coalesced delivery replay: the real Network, both engines ----
+//
+// Unlike the engine comparison above (raw simulator cost models), this
+// replays a closed-loop hop stream through the REAL Network stack twice —
+// per-message scheduling vs. batched per-tick delivery — at the same
+// tick, so the measured difference is coalescing itself: one heap event
+// and one dispatch per batch instead of per message, frames appended to
+// pre-sized per-destination slabs instead of pooled per-message buffers.
+
+struct NetReplayDriver {
+  explicit NetReplayDriver(const std::vector<std::uint32_t>& s) : sizes(s) {}
+
+  const std::vector<std::uint32_t>& sizes;  ///< recorded payload sizes
+  std::vector<std::uint8_t> scratch;        ///< payload byte source
+  Network* net = nullptr;
+  std::size_t next = 0;
+  std::uint64_t remaining = 0;
+  int ndst = 0;
+
+  void send_next(NodeId src) {
+    if (remaining == 0) return;
+    --remaining;
+    const std::uint32_t sz = sizes[next];
+    if (++next == sizes.size()) next = 0;
+    const NodeId dst = static_cast<NodeId>(
+        (static_cast<std::uint32_t>(src) + 1 + sz) %
+        static_cast<std::uint32_t>(ndst));
+    net->send_bytes(src, dst, /*type=*/1, /*key=*/0, /*rpc_id=*/0,
+                    ByteSpan(scratch.data(), sz));
+  }
+};
+
+/// Closed-loop sink: every delivered frame triggers the next hop, keeping
+/// the configured fan-out in flight. Runs unmodified on both engines —
+/// Process::on_deliver_batch's default replays the batch per frame.
+class ReplaySink final : public Process {
+ public:
+  ReplaySink(NodeId id, Network& net, NetReplayDriver& d)
+      : Process(id, net), d_(d) {}
+  void on_message(const Frame& m) override {
+    benchmark::DoNotOptimize(m.payload.data());
+    d_.send_next(id());
+  }
+
+ private:
+  NetReplayDriver& d_;
+};
+
+struct CoalescedReplay {
+  std::uint64_t frames = 0;  ///< hops delivered in one timed run
+  double per_message_eps = 0;
+  double coalesced_eps = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t coalesced_frames = 0;  ///< frames through batch delivery
+  std::uint64_t hist[CoalesceStats::kHistBuckets] = {};
+  std::uint64_t steady_engine_allocs = 0;
+  std::uint64_t steady_pool_misses = 0;
+
+  [[nodiscard]] double speedup() const {
+    return per_message_eps > 0 ? coalesced_eps / per_message_eps : 0;
+  }
+  [[nodiscard]] double frames_per_batch() const {
+    return batches > 0
+               ? static_cast<double>(coalesced_frames) /
+                     static_cast<double>(batches)
+               : 0;
+  }
+};
+
+CoalescedReplay measure_coalesced_delivery(
+    const std::vector<std::uint32_t>& sizes) {
+  constexpr int kDsts = 8;     // replica-group-sized destination set
+  constexpr int kFanout = 512; // closed-loop hops in flight
+  constexpr int kRounds = 20;  // ~300k hops per timed run
+  constexpr int kReps = 5;     // best-of, to shed scheduler noise
+  const std::uint64_t hops = sizes.size() * kRounds;
+  std::uint32_t max_sz = 0;
+  for (std::uint32_t s : sizes) max_sz = std::max(max_sz, s);
+
+  auto run_once = [&](bool coalesce, CoalescedReplay* out) {
+    Simulator sim;
+    Network::Options nopts;
+    nopts.coalesce = coalesce;
+    // Same tick on both sides: quantization is not what is being measured.
+    nopts.tick = kMillisecond;
+    Network net(sim,
+                std::make_unique<UniformDelay>(kMillisecond, 10 * kMillisecond),
+                Rng(7), nopts);
+    if (coalesce) {
+      net.reserve_coalescing(kDsts * 16, kFanout / kDsts, max_sz);
+    }
+    NetReplayDriver d{sizes};
+    d.scratch.assign(max_sz, 0xA5);
+    d.net = &net;
+    d.remaining = hops;
+    d.ndst = kDsts;
+    std::vector<std::unique_ptr<ReplaySink>> sinks;
+    sinks.reserve(kDsts);
+    for (int i = 0; i < kDsts; ++i) {
+      sinks.push_back(
+          std::make_unique<ReplaySink>(static_cast<NodeId>(i), net, d));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kFanout; ++i) {
+      d.send_next(static_cast<NodeId>(i % kDsts));
+    }
+    sim.run();
+    const double secs = seconds_since(t0);
+    const std::uint64_t delivered = net.stats().delivered;
+    if (out != nullptr) {
+      out->frames = delivered;
+      if (coalesce) {
+        const CoalesceStats& cs = net.coalesce_stats();
+        out->batches = cs.batches;
+        out->coalesced_frames = cs.frames;
+        for (int b = 0; b < CoalesceStats::kHistBuckets; ++b) {
+          out->hist[b] = cs.hist[b];
+        }
+        // Steady-state probe: one more trace round on the warm network —
+        // batch rings, slabs, and the event slab must all be ratcheted.
+        const std::uint64_t a0 = sim.allocations();
+        const std::uint64_t m0 = net.pool().stats().misses;
+        d.remaining = sizes.size();
+        for (int i = 0; i < kFanout; ++i) {
+          d.send_next(static_cast<NodeId>(i % kDsts));
+        }
+        sim.run();
+        out->steady_engine_allocs = sim.allocations() - a0;
+        out->steady_pool_misses = net.pool().stats().misses - m0;
+      }
+    }
+    return static_cast<double>(delivered) / secs;
+  };
+
+  CoalescedReplay r;
+  for (int rep = 0; rep < kReps; ++rep) {
+    r.per_message_eps = std::max(r.per_message_eps, run_once(false, nullptr));
+    // Counters are deterministic across reps; capture them on the first.
+    r.coalesced_eps =
+        std::max(r.coalesced_eps, run_once(true, rep == 0 ? &r : nullptr));
+  }
+  return r;
 }
 
 // ---- end-to-end harness throughput across the design space ----
@@ -323,6 +590,7 @@ WorkloadRow run_workload(const std::string& protocol, const ClusterConfig& cfg,
 struct MillionRow {
   int clients = 0;
   int ops_per_client = 0;
+  bool coalesce = false;  ///< batched delivery at a 10us tick
   std::string protocol;
   std::string keyspace;
   std::uint64_t events = 0;
@@ -339,18 +607,24 @@ struct MillionRow {
   }
 };
 
-MillionRow run_million_client(int clients, int ops_per_client) {
+MillionRow run_million_client(int clients, int ops_per_client,
+                              bool coalesce = false) {
   const Protocol* p = protocol_by_name("mw-abd(W2R2)");
   SimHarness::Options o;
   o.cfg = ClusterConfig{5, clients / 2, clients - clients / 2, 1};
   o.keyspace = KeyspaceConfig{64, 8, 0.99};
   o.seed = 42;
   o.delay = std::make_unique<UniformDelay>(kMillisecond, 10 * kMillisecond);
+  if (coalesce) {
+    o.coalesce = true;
+    o.tick = 10 * kMicrosecond;  // quantize so same-tick traffic batches
+  }
   SimHarness h(*p, std::move(o));
 
   MillionRow row;
   row.clients = clients;
   row.ops_per_client = ops_per_client;
+  row.coalesce = coalesce;
   row.protocol = "mw-abd(W2R2)";
   row.keyspace = h.keyspace().to_string();
 
@@ -360,7 +634,11 @@ MillionRow run_million_client(int clients, int ops_per_client) {
   const auto t0 = std::chrono::steady_clock::now();
   run_keyspace_workload(h, w);
   row.wall_ms = seconds_since(t0) * 1e3;
-  row.events = h.sim().executed();
+  // Logical event count (one per enqueued frame, as in exp::Runner): the
+  // coalesced engine executes fewer heap events for the same traffic, so
+  // events_per_sec stays comparable across the two modes.
+  const CoalesceStats& cs = h.net().coalesce_stats();
+  row.events = h.sim().executed() - cs.batches - cs.continuations + cs.enqueued;
   row.msgs = h.net().stats().sent;
 
   std::vector<double> writes, reads;
@@ -393,19 +671,37 @@ MillionRow run_million_client(int clients, int ops_per_client) {
 void report() {
   header("Simulation-core throughput (pooled engine)");
 
-  const EngineComparison cmp = compare_engines();
+  const std::vector<std::uint32_t> hop_sizes = capture_w2r1_hop_sizes(300);
+  const EngineComparison cmp = compare_engines(hop_sizes);
   header("Engine comparison: W2R1-shaped hop replay, uniform 1..10ms delays");
   row({"engine", "events/sec", "hops"}, {24, 16, 10});
   row({"legacy (PR 2)", fmt(cmp.legacy_eps, 0), std::to_string(cmp.hops)},
       {24, 16, 10});
-  row({"pooled (this PR)", fmt(cmp.pooled_eps, 0), std::to_string(cmp.hops)},
+  row({"pooled (PR 3)", fmt(cmp.pooled_eps, 0), std::to_string(cmp.hops)},
       {24, 16, 10});
-  row({"speedup", fmt(cmp.speedup(), 2) + "x", ""}, {24, 16, 10});
+  row({"batched (this PR)", fmt(cmp.batched_eps, 0), std::to_string(cmp.hops)},
+      {24, 16, 10});
+  row({"speedup", fmt(cmp.speedup(), 2) + "x (pooled/legacy)", ""},
+      {24, 28, 10});
+  row({"", fmt(cmp.batched_speedup(), 2) + "x (batched/pooled)", ""},
+      {24, 28, 10});
+
+  const CoalescedReplay co = measure_coalesced_delivery(hop_sizes);
+  header("Batched delivery: same hop stream through the real Network stack");
+  row({"engine", "frames/sec", "frames"}, {24, 16, 10});
+  row({"per-message", fmt(co.per_message_eps, 0), std::to_string(co.frames)},
+      {24, 16, 10});
+  row({"coalesced (this PR)", fmt(co.coalesced_eps, 0),
+       std::to_string(co.frames)},
+      {24, 16, 10});
+  row({"speedup", fmt(co.speedup(), 2) + "x",
+       fmt(co.frames_per_batch(), 1) + "/batch"},
+      {24, 16, 10});
 
   const std::vector<std::pair<std::string, ClusterConfig>> grid = {
       {"fast-read-mw(W2R1)", ClusterConfig{5, 2, 1, 1}},
       {"fast-read-mw(W2R1)", ClusterConfig{9, 2, 1, 2}},
-      {"fast-read-mw-gc(W2R1)", ClusterConfig{5, 2, 1, 1}},
+      {"fast-read-mw-nogc(W2R1)", ClusterConfig{5, 2, 1, 1}},
       {"mw-abd(W2R2)", ClusterConfig{3, 2, 2, 1}},
       {"mw-abd(W2R2)", ClusterConfig{5, 2, 2, 2}},
       {"fast-swmr(W1R1)", ClusterConfig{5, 1, 1, 1}},
@@ -439,19 +735,21 @@ void report() {
   // harness. Long runs — a single rep per row is already stable, and the
   // trend gate normalizes by the engine calibration anyway.
   const std::vector<MillionRow> million = {
-      run_million_client(10'000, 10),    // 10^5 ops
-      run_million_client(100'000, 10),   // 10^6 ops
+      run_million_client(10'000, 10),                       // 10^5 ops
+      run_million_client(10'000, 10, /*coalesce=*/true),    //   + batching
+      run_million_client(100'000, 10),                      // 10^6 ops
+      run_million_client(100'000, 10, /*coalesce=*/true),   //   + batching
   };
   header("Million-client keyspace (table clients, 64 keys / 8 shards, zipf)");
-  row({"clients", "ops", "events/s", "wr p99", "rd p99", "key p99", "steady"},
-      {10, 10, 12, 10, 10, 10, 8});
+  row({"clients", "ops", "mode", "events/s", "wr p99", "rd p99", "steady"},
+      {10, 10, 10, 12, 10, 10, 8});
   for (const MillionRow& r : million) {
     row({std::to_string(r.clients),
          std::to_string(static_cast<long long>(r.clients) * r.ops_per_client),
-         fmt(r.events_per_sec(), 0), fmt(r.write_p99_ms, 2),
-         fmt(r.read_p99_ms, 2), fmt(r.per_key_read_p99_max_ms, 2),
+         r.coalesce ? "coalesced" : "per-msg", fmt(r.events_per_sec(), 0),
+         fmt(r.write_p99_ms, 2), fmt(r.read_p99_ms, 2),
          std::to_string(r.steady_engine_allocs + r.steady_pool_misses)},
-        {10, 10, 12, 10, 10, 10, 8});
+        {10, 10, 10, 12, 10, 10, 8});
   }
 
   const std::vector<VvRow> vv_rows = run_valuevector_rows();
@@ -460,13 +758,35 @@ void report() {
   JsonWriter j;
   j.begin_object();
   j.key("bench").value("simcore_throughput");
-  j.key("schema_version").value(3);
+  j.key("schema_version").value(4);
   j.key("engine_comparison").begin_object();
   j.key("workload").value("w2r1_replay_uniform_delay");
   j.key("hops").value(cmp.hops);
   j.key("legacy_events_per_sec").value(cmp.legacy_eps);
   j.key("pooled_events_per_sec").value(cmp.pooled_eps);
+  j.key("batched_events_per_sec").value(cmp.batched_eps);
   j.key("speedup").value(cmp.speedup());
+  j.key("batched_speedup").value(cmp.batched_speedup());
+  j.end_object();
+  j.key("coalescing").begin_object();
+  j.key("workload").value("w2r1_replay_real_network");
+  j.key("frames").value(co.frames);
+  j.key("per_message_events_per_sec").value(co.per_message_eps);
+  j.key("coalesced_events_per_sec").value(co.coalesced_eps);
+  j.key("coalesce_speedup").value(co.speedup());
+  j.key("batches").value(co.batches);
+  j.key("frames_per_batch").value(co.frames_per_batch());
+  j.key("batch_size_hist").begin_array();
+  for (int b = 0; b < CoalesceStats::kHistBuckets; ++b) {
+    j.begin_object();
+    // Bucket b holds spans of size in [2^b, 2^(b+1)).
+    j.key("ge").value(std::uint64_t{1} << b);
+    j.key("count").value(co.hist[b]);
+    j.end_object();
+  }
+  j.end_array();
+  j.key("steady_engine_allocs").value(co.steady_engine_allocs);
+  j.key("steady_pool_misses").value(co.steady_pool_misses);
   j.end_object();
   j.key("workloads").begin_array();
   for (const WorkloadRow& r : rows) {
@@ -494,6 +814,7 @@ void report() {
     j.key("keyspace").value(r.keyspace);
     j.key("clients").value(r.clients);
     j.key("ops_per_client").value(r.ops_per_client);
+    j.key("coalesce").value(r.coalesce);
     j.key("events").value(r.events);
     j.key("msgs").value(r.msgs);
     j.key("wall_ms").value(r.wall_ms);

@@ -37,14 +37,14 @@ void report() {
   const ClusterConfig w2r1{5, 2, 1, 1};
   const ClusterConfig w4r4{7, 4, 4, 1};
   std::vector<VvRow> rows;
+  rows.push_back(run_valuevector_row("fast-read-mw-nogc(W2R1)", w2r1,
+                                     "W2R1-long", 400, &off_series));
   rows.push_back(run_valuevector_row("fast-read-mw(W2R1)", w2r1, "W2R1-long",
-                                     400, &off_series));
-  rows.push_back(run_valuevector_row("fast-read-mw-gc(W2R1)", w2r1,
-                                     "W2R1-long", 400, &on_series));
+                                     400, &on_series));
+  rows.push_back(
+      run_valuevector_row("fast-read-mw-nogc(W2R1)", w4r4, "W4R4-long", 150));
   rows.push_back(
       run_valuevector_row("fast-read-mw(W2R1)", w4r4, "W4R4-long", 150));
-  rows.push_back(
-      run_valuevector_row("fast-read-mw-gc(W2R1)", w4r4, "W4R4-long", 150));
 
   // Windowed trajectory: W2R1 long horizon, ablation vs. GC+delta.
   constexpr int kWindows = 8;

@@ -75,7 +75,7 @@ inline VvRow run_valuevector_row_once(const std::string& protocol,
   o.delay = std::make_unique<UniformDelay>(kMillisecond, 10 * kMillisecond);
   SimHarness h(*p, std::move(o));
   std::vector<std::size_t> sizes;
-  h.net().set_delivery_hook([&sizes](const Message& m, Time, Time) {
+  h.net().set_delivery_hook([&sizes](const Frame& m, Time, Time) {
     if (m.type == kFrReadAck || m.type == kFrReadAckDelta) {
       sizes.push_back(m.payload.size());
     }
@@ -88,7 +88,9 @@ inline VvRow run_valuevector_row_once(const std::string& protocol,
   row.protocol = protocol;
   row.cluster = cfg.to_string();
   row.workload = workload;
-  row.gc_enabled = protocol.find("-gc(") != std::string::npos;
+  // GC is the fast-read default since the PR 7 flip; only the explicit
+  // "-nogc(" ablation still runs the full-ack path.
+  row.gc_enabled = protocol.find("-nogc(") == std::string::npos;
   row.ops_per_client = ops_per_client;
   const auto t0 = std::chrono::steady_clock::now();
   run_random_workload(h, w);
@@ -134,13 +136,13 @@ inline std::vector<VvRow> run_valuevector_rows() {
   const ClusterConfig w2r1{5, 2, 1, 1};
   const ClusterConfig w4r4{7, 4, 4, 1};
   rows.push_back(
+      run_valuevector_row("fast-read-mw-nogc(W2R1)", w2r1, "W2R1-long", 400));
+  rows.push_back(
       run_valuevector_row("fast-read-mw(W2R1)", w2r1, "W2R1-long", 400));
   rows.push_back(
-      run_valuevector_row("fast-read-mw-gc(W2R1)", w2r1, "W2R1-long", 400));
+      run_valuevector_row("fast-read-mw-nogc(W2R1)", w4r4, "W4R4-long", 150));
   rows.push_back(
       run_valuevector_row("fast-read-mw(W2R1)", w4r4, "W4R4-long", 150));
-  rows.push_back(
-      run_valuevector_row("fast-read-mw-gc(W2R1)", w4r4, "W4R4-long", 150));
   return rows;
 }
 

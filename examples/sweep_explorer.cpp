@@ -25,11 +25,11 @@ int main(int argc, char** argv) {
 
   exp::ExperimentSpec spec;
   spec.name = "design-space-sweep";
-  // fast-read-mw appears twice — with and without valuevector GC — making
-  // the GC toggle one more sweep axis: cell_digest keys on the protocol
-  // name, so the GC-on cells get their own reproducible RNG streams.
+  // fast-read-mw appears twice — GC'd default and full-ack ablation —
+  // making the GC toggle one more sweep axis: cell_digest keys on the
+  // protocol name, so each variant gets its own reproducible RNG streams.
   spec.protocols = {"mw-abd(W2R2)",          "abd-swmr(W1R2)",
-                    "fast-read-mw(W2R1)",    "fast-read-mw-gc(W2R1)",
+                    "fast-read-mw(W2R1)",    "fast-read-mw-nogc(W2R1)",
                     "fast-swmr(W1R1)",       "regular-fast-read(W2R1)"};
   spec.clusters = {
       ClusterConfig{5, 2, 2, 1},  // smallest fast-read-feasible MW cluster
@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
   exp::ExperimentSpec faults;
   faults.name = "fault-sweep";
   faults.protocols = {"mw-abd(W2R2)", "fast-read-mw(W2R1)",
-                      "fast-read-mw-gc(W2R1)", "regular-fast-read(W2R1)"};
+                      "fast-read-mw-nogc(W2R1)", "regular-fast-read(W2R1)"};
   faults.clusters = {ClusterConfig{5, 2, 2, 1}};
   faults.fault_plans = scenarios::all();
   faults.seed_lo = 1;

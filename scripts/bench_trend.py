@@ -51,8 +51,56 @@ def collect_rows(doc):
         key = "million_client/{}/{}x{}".format(
             m["protocol"], m["clients"], m["ops_per_client"]
         )
+        # Schema v4: coalesced rows share (protocol, clients, ops) with
+        # their per-message twins; the suffix keeps per-message keys stable
+        # so v3 baselines stay comparable.
+        if m.get("coalesce", False):
+            key += "/coalesced"
         rows[key] = (float(m["events_per_sec"]), float(m.get("wall_ms", 0)))
+    co = doc.get("coalescing")
+    if co:
+        # The batched-delivery replay has no per-row wall_ms; each number is
+        # a best-of-5 over ~20ms timed runs, solid enough to hard-gate.
+        for field, name in (
+            ("per_message_events_per_sec", "per_message"),
+            ("coalesced_events_per_sec", "coalesced"),
+        ):
+            rows["coalescing/" + name] = (float(co[field]), 100.0)
+    # Schema v4: the batched cost-model engine rides the same calibration
+    # as every other row (legacy stays the denominator), so its ratio to
+    # the per-message engines is machine-independent and gateable.
+    batched = doc.get("engine_comparison", {}).get("batched_events_per_sec")
+    if batched is not None:
+        rows["engine_comparison/batched"] = (float(batched), 100.0)
     return rows
+
+
+def coalescing_lines(doc):
+    """Schema v4 coalescing summary: engine ratio + batch-size histogram."""
+    co = doc.get("coalescing")
+    if not co:
+        return []
+    lines = [
+        "coalescing: {:.2f}x over per-message ({:.1f} frames/batch, "
+        "{} batches)".format(
+            float(co.get("coalesce_speedup", 0)),
+            float(co.get("frames_per_batch", 0)),
+            int(co.get("batches", 0)),
+        )
+    ]
+    hist = co.get("batch_size_hist", [])
+    if hist:
+        lines.append(
+            "  batch size   " + " ".join(
+                "{:>8}".format(">=" + str(b["ge"])) for b in hist if b["count"]
+            )
+        )
+        lines.append(
+            "  batches      " + " ".join(
+                "{:>8}".format(b["count"]) for b in hist if b["count"]
+            )
+        )
+    return lines
 
 
 def calibration(doc):
@@ -85,6 +133,15 @@ def steady_alloc_failures(doc):
                 "million_client/{}/{}x{}: steady-state allocations = {}".format(
                     m["protocol"], m["clients"], m["ops_per_client"], steady
                 )
+            )
+    co = doc.get("coalescing")
+    if co:
+        steady = int(co.get("steady_engine_allocs", 0)) + int(
+            co.get("steady_pool_misses", 0)
+        )
+        if steady != 0:
+            bad.append(
+                "coalescing: steady-state allocations = {}".format(steady)
             )
     return bad
 
@@ -148,6 +205,7 @@ def compare(artifact, baseline, max_regression, min_wall_ms=5.0):
             )
         )
 
+    lines.extend(coalescing_lines(artifact))
     for msg in steady_alloc_failures(artifact):
         failures.append(msg)
     return failures, lines
@@ -156,15 +214,26 @@ def compare(artifact, baseline, max_regression, min_wall_ms=5.0):
 # ---- self-test -------------------------------------------------------------
 
 
-def _doc(rows, legacy_eps=1_000_000.0, steady=0, wall_ms=100.0, million=None):
+def _doc(
+    rows,
+    legacy_eps=1_000_000.0,
+    steady=0,
+    wall_ms=100.0,
+    million=None,
+    coalescing=None,
+    batched_eps=None,
+):
     """Synthetic artifact with the given {(proto, cluster): eps} workloads.
 
-    `million` is an optional {(clients, ops): (eps, steady)} dict rendered
-    as the million_client section.
+    `million` is an optional {(clients, ops[, coalesce]): (eps, steady)}
+    dict rendered as the million_client section. `coalescing` is an
+    optional (per_message_eps, coalesced_eps, steady) tuple rendered as the
+    schema v4 coalescing section. `batched_eps` populates the v4
+    engine_comparison batched-engine row.
     """
-    return {
+    doc = {
         "bench": "simcore_throughput",
-        "schema_version": 3,
+        "schema_version": 4,
         "engine_comparison": {"legacy_events_per_sec": legacy_eps},
         "workloads": [
             {
@@ -180,17 +249,39 @@ def _doc(rows, legacy_eps=1_000_000.0, steady=0, wall_ms=100.0, million=None):
         "million_client": [
             {
                 "protocol": "mw-abd(W2R2)",
-                "clients": clients,
-                "ops_per_client": ops,
+                "clients": key[0],
+                "ops_per_client": key[1],
+                "coalesce": bool(key[2]) if len(key) > 2 else False,
                 "events_per_sec": eps,
                 "wall_ms": wall_ms,
                 "steady_engine_allocs": msteady,
                 "steady_pool_misses": 0,
             }
-            for (clients, ops), (eps, msteady) in (million or {}).items()
+            for key, (eps, msteady) in (million or {}).items()
         ],
         "valuevector": [],
     }
+    if batched_eps is not None:
+        doc["engine_comparison"]["batched_events_per_sec"] = batched_eps
+    if coalescing is not None:
+        per_msg, coalesced, csteady = coalescing
+        doc["coalescing"] = {
+            "workload": "w2r1_replay_real_network",
+            "frames": 300_000,
+            "per_message_events_per_sec": per_msg,
+            "coalesced_events_per_sec": coalesced,
+            "coalesce_speedup": coalesced / per_msg if per_msg else 0,
+            "batches": 50_000,
+            "frames_per_batch": 6.0,
+            "batch_size_hist": [
+                {"ge": 1, "count": 10_000},
+                {"ge": 2, "count": 20_000},
+                {"ge": 4, "count": 20_000},
+            ],
+            "steady_engine_allocs": csteady,
+            "steady_pool_misses": 0,
+        }
+    return doc
 
 
 def self_test():
@@ -274,6 +365,84 @@ def self_test():
     ]
     for name, doc, want_fail in mchecks:
         failures, _ = compare(doc, mbase, 0.25)
+        checks.append((name, bool(failures) == want_fail, failures))
+
+    # Schema v4: the coalescing section contributes two gated rows (both
+    # delivery engines), its steady counters are enforced, and coalesced
+    # million_client rows are keyed apart from their per-message twins.
+    cbase = _doc(
+        {("fr", "S=5"): 4e5},
+        million={(100_000, 10): (2e6, 0), (100_000, 10, True): (6e6, 0)},
+        coalescing=(15e6, 45e6, 0),
+    )
+    cchecks = [
+        (
+            "coalescing-identical",
+            _doc(
+                {("fr", "S=5"): 4e5},
+                million={(100_000, 10): (2e6, 0), (100_000, 10, True): (6e6, 0)},
+                coalescing=(15e6, 45e6, 0),
+            ),
+            False,
+        ),
+        (
+            "coalescing-30pc-drop",
+            _doc(
+                {("fr", "S=5"): 4e5},
+                million={(100_000, 10): (2e6, 0), (100_000, 10, True): (6e6, 0)},
+                coalescing=(15e6, 30e6, 0),
+            ),
+            True,
+        ),
+        (
+            "coalescing-steady-allocs",
+            _doc(
+                {("fr", "S=5"): 4e5},
+                million={(100_000, 10): (2e6, 0), (100_000, 10, True): (6e6, 0)},
+                coalescing=(15e6, 45e6, 9),
+            ),
+            True,
+        ),
+        (
+            # Only the coalesced million row regresses; the per-message twin
+            # with the same (clients, ops) must not mask it.
+            "coalesced-million-drop",
+            _doc(
+                {("fr", "S=5"): 4e5},
+                million={(100_000, 10): (2e6, 0), (100_000, 10, True): (3e6, 0)},
+                coalescing=(15e6, 45e6, 0),
+            ),
+            True,
+        ),
+        (
+            "coalescing-section-vanished",
+            _doc(
+                {("fr", "S=5"): 4e5},
+                million={(100_000, 10): (2e6, 0), (100_000, 10, True): (6e6, 0)},
+            ),
+            True,
+        ),
+    ]
+    for name, doc, want_fail in cchecks:
+        failures, _ = compare(doc, cbase, 0.25)
+        checks.append((name, bool(failures) == want_fail, failures))
+
+    # The batched cost-model engine row is gated like any other once
+    # baselined: identical passes, a >25% normalized drop fails.
+    bbase = _doc({("fr", "S=5"): 4e5}, batched_eps=50e6)
+    for name, doc, want_fail in (
+        (
+            "batched-engine-identical",
+            _doc({("fr", "S=5"): 4e5}, batched_eps=50e6),
+            False,
+        ),
+        (
+            "batched-engine-30pc-drop",
+            _doc({("fr", "S=5"): 4e5}, batched_eps=35e6),
+            True,
+        ),
+    ):
+        failures, _ = compare(doc, bbase, 0.25)
         checks.append((name, bool(failures) == want_fail, failures))
 
     bad = [name for name, ok, _ in checks if not ok]

@@ -26,16 +26,19 @@ import statistics
 import sys
 
 # (section, key fields...) — keys must match scripts/bench_trend.py.
+# "coalesce" (schema v4) distinguishes batched-delivery million_client rows
+# from their per-message twins; row_key uses .get() so v3 artifacts without
+# the field still key correctly.
 SECTIONS = {
     "workloads": ("protocol", "cluster"),
     "valuevector": ("protocol", "cluster", "workload"),
-    "million_client": ("protocol", "clients", "ops_per_client"),
+    "million_client": ("protocol", "clients", "ops_per_client", "coalesce"),
 }
 MEDIANED_FIELDS = ("events_per_sec", "wall_ms")
 
 
 def row_key(section, row):
-    return (section,) + tuple(row[f] for f in SECTIONS[section])
+    return (section,) + tuple(row.get(f, False) for f in SECTIONS[section])
 
 
 def index_rows(doc):
@@ -73,12 +76,34 @@ def merge(docs):
 
     cmp_rows = [d.get("engine_comparison", {}) for d in docs]
     cmp_out = merged.get("engine_comparison", {})
-    for field in ("legacy_events_per_sec", "pooled_events_per_sec"):
+    for field in (
+        "legacy_events_per_sec",
+        "pooled_events_per_sec",
+        "batched_events_per_sec",
+    ):
         if all(field in c for c in cmp_rows):
             cmp_out[field] = statistics.median(float(c[field]) for c in cmp_rows)
     if cmp_out.get("legacy_events_per_sec"):
         cmp_out["speedup"] = (
             cmp_out["pooled_events_per_sec"] / cmp_out["legacy_events_per_sec"]
+        )
+    if cmp_out.get("pooled_events_per_sec") and "batched_events_per_sec" in cmp_out:
+        cmp_out["batched_speedup"] = (
+            cmp_out["batched_events_per_sec"] / cmp_out["pooled_events_per_sec"]
+        )
+
+    # Schema v4 coalescing section: median the two wall-clock rates and
+    # re-derive their ratio; batches, histogram, and steady counters are
+    # deterministic and stay verbatim from the first run.
+    co_rows = [d.get("coalescing", {}) for d in docs]
+    co_out = merged.get("coalescing", {})
+    for field in ("per_message_events_per_sec", "coalesced_events_per_sec"):
+        if all(field in c for c in co_rows):
+            co_out[field] = statistics.median(float(c[field]) for c in co_rows)
+    if co_out.get("per_message_events_per_sec"):
+        co_out["coalesce_speedup"] = (
+            co_out["coalesced_events_per_sec"]
+            / co_out["per_message_events_per_sec"]
         )
     return merged
 
@@ -86,14 +111,27 @@ def merge(docs):
 # ---- self-test -------------------------------------------------------------
 
 
-def _run(eps, wall, legacy=1e6, pooled=3e6):
+def _run(eps, wall, legacy=1e6, pooled=3e6, batched=9e6):
     return {
         "bench": "simcore_throughput",
-        "schema_version": 3,
+        "schema_version": 4,
         "engine_comparison": {
             "legacy_events_per_sec": legacy,
             "pooled_events_per_sec": pooled,
+            "batched_events_per_sec": batched,
             "speedup": pooled / legacy,
+            "batched_speedup": batched / pooled,
+        },
+        "coalescing": {
+            "frames": 300000,
+            "per_message_events_per_sec": eps * 10,
+            "coalesced_events_per_sec": eps * 30,
+            "coalesce_speedup": 3.0,
+            "batches": 50000,
+            "frames_per_batch": 6.0,
+            "batch_size_hist": [{"ge": 4, "count": 50000}],
+            "steady_engine_allocs": 0,
+            "steady_pool_misses": 0,
         },
         "workloads": [
             {
@@ -109,11 +147,13 @@ def _run(eps, wall, legacy=1e6, pooled=3e6):
                 "protocol": "mw-abd(W2R2)",
                 "clients": 100000,
                 "ops_per_client": 10,
-                "events_per_sec": eps * 2,
+                "coalesce": coalesce,
+                "events_per_sec": eps * (6 if coalesce else 2),
                 "wall_ms": wall * 2,
                 "steady_engine_allocs": 0,
                 "steady_pool_misses": 0,
             }
+            for coalesce in (False, True)
         ],
         "valuevector": [],
     }
@@ -132,12 +172,27 @@ def self_test():
     check("workload-eps-median", m["workloads"][0]["events_per_sec"] == 300.0)
     check("workload-wall-median", m["workloads"][0]["wall_ms"] == 6.0)
     check("million-eps-median", m["million_client"][0]["events_per_sec"] == 600.0)
+    check(
+        "million-coalesced-median",
+        m["million_client"][1]["events_per_sec"] == 1800.0,
+    )
     check("deterministic-verbatim", m["workloads"][0]["events"] == 1000)
     check(
         "calibration-median",
         m["engine_comparison"]["legacy_events_per_sec"] == 1e6,
     )
     check("speedup-rederived", m["engine_comparison"]["speedup"] == 3.0)
+    check(
+        "batched-median-rederived",
+        m["engine_comparison"]["batched_events_per_sec"] == 9e6
+        and m["engine_comparison"]["batched_speedup"] == 3.0,
+    )
+    check(
+        "coalescing-eps-median",
+        m["coalescing"]["per_message_events_per_sec"] == 3000.0
+        and m["coalescing"]["coalesced_events_per_sec"] == 9000.0,
+    )
+    check("coalescing-ratio-rederived", m["coalescing"]["coalesce_speedup"] == 3.0)
     try:
         bad = _run(100.0, 10.0)
         bad["workloads"][0]["cluster"] = "S=7"

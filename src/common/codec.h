@@ -76,6 +76,7 @@ class ByteReader {
       : data_(data), size_(size) {}
   explicit ByteReader(const std::vector<std::uint8_t>& buf)
       : ByteReader(buf.data(), buf.size()) {}
+  explicit ByteReader(ByteSpan bytes) : ByteReader(bytes.data(), bytes.size()) {}
 
   std::uint8_t get_u8();
   std::uint64_t get_varint();

@@ -1,8 +1,10 @@
 // Basic identifier and time types shared by every module.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 namespace mwreg {
 
@@ -26,5 +28,27 @@ inline constexpr Time kTimeMax = std::numeric_limits<Time>::max();
 inline constexpr Duration kMicrosecond = 1'000;
 inline constexpr Duration kMillisecond = 1'000'000;
 inline constexpr Duration kSecond = 1'000'000'000;
+
+/// Non-owning view of a byte sequence (C++17 stand-in for
+/// std::span<const uint8_t>). The delivery pipeline hands payloads to
+/// handlers as spans over batch slabs, and the decode helpers accept spans,
+/// so a payload is never copied between the wire and the decoder. The
+/// implicit constructor from std::vector keeps every owning-buffer call
+/// site working unchanged. The viewed bytes must outlive the span.
+struct ByteSpan {
+  const std::uint8_t* ptr = nullptr;
+  std::size_t len = 0;
+
+  ByteSpan() = default;
+  ByteSpan(const std::uint8_t* p, std::size_t n) : ptr(p), len(n) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): deliberate implicit view.
+  ByteSpan(const std::vector<std::uint8_t>& v) : ptr(v.data()), len(v.size()) {}
+
+  [[nodiscard]] const std::uint8_t* data() const { return ptr; }
+  [[nodiscard]] std::size_t size() const { return len; }
+  [[nodiscard]] bool empty() const { return len == 0; }
+  [[nodiscard]] const std::uint8_t* begin() const { return ptr; }
+  [[nodiscard]] const std::uint8_t* end() const { return ptr + len; }
+};
 
 }  // namespace mwreg

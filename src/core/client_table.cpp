@@ -64,27 +64,15 @@ void ClientTable::broadcast(int slot, std::uint32_t key, MsgType type,
   const std::uint64_t rpc = next_rpc_[static_cast<std::size_t>(slot)]++;
   rpc_[static_cast<std::size_t>(slot)] = rpc;
   acks_[static_cast<std::size_t>(slot)] = 0;
-  // One pooled copy per server, original released afterwards — the same
-  // fan-out RpcClient::round_trip performs, in the same server order. Empty
-  // requests (round-1 reads/queries) skip the pool entirely: a capacity-0
-  // vector costs no allocation, while draining the free list for them would
-  // starve the capacity-carrying payloads at 10^5-client bursts. Pool stats
-  // are not part of any digest, so this cannot move a golden.
-  const bool pooled = !payload.empty();
+  // Fan out through the byte-span path, original released afterwards — the
+  // same fan-out RpcClient::round_trip performs, in the same server order.
+  // The per-message engine makes one pooled copy per server (empty requests
+  // skip the pool: a capacity-0 vector costs no allocation, and draining
+  // the free list for them would starve the capacity-carrying payloads at
+  // 10^5-client bursts); the batched engine copies the bytes straight into
+  // each destination's slab. Pool stats are not part of any digest.
   for (int i = 0; i < kc.s(); ++i) {
-    std::vector<std::uint8_t> buf;
-    if (pooled) {
-      buf = pool().acquire();
-      buf.assign(payload.begin(), payload.end());
-    }
-    Message m;
-    m.src = src;
-    m.dst = kc.server_id(i);
-    m.type = type;
-    m.key = key;
-    m.rpc_id = rpc;
-    m.payload = std::move(buf);
-    net().send(std::move(m));
+    net().send_bytes(src, kc.server_id(i), type, key, rpc, ByteSpan(payload));
   }
   pool().release(std::move(payload));
 }
@@ -180,7 +168,9 @@ OpId ClientTable::start_read(int ri, std::uint32_t key) {
   return op;
 }
 
-void ClientTable::on_message(const Message& m) {
+void ClientTable::on_message(const Frame& m) { handle_reply(m); }
+
+void ClientTable::handle_reply(const Frame& m) {
   const int slot = slot_of(m.dst);
   if (slot < 0) return;
   const auto s = static_cast<std::size_t>(slot);
@@ -194,7 +184,7 @@ void ClientTable::on_message(const Message& m) {
   }
 }
 
-void ClientTable::on_writer_reply(int slot, const Message& m) {
+void ClientTable::on_writer_reply(int slot, const Frame& m) {
   const auto s = static_cast<std::size_t>(slot);
   const ClusterConfig& kc = key_cfgs_[key_[s]];
   if (phase_[s] == 1) {
@@ -215,7 +205,7 @@ void ClientTable::on_writer_reply(int slot, const Message& m) {
   complete_write(slot);
 }
 
-void ClientTable::on_reader_reply(int slot, const Message& m) {
+void ClientTable::on_reader_reply(int slot, const Frame& m) {
   const auto s = static_cast<std::size_t>(slot);
   const ClusterConfig& kc = key_cfgs_[key_[s]];
   const int ri = slot - w_;

@@ -58,7 +58,14 @@ class ClientTable final : public Process {
               TableReaderProgram reader_program,
               std::vector<History*> histories);
 
-  void on_message(const Message& m) override;
+  void on_message(const Frame& m) override;
+
+  /// Batched delivery: a tick's worth of replies to many table clients
+  /// lands as one span; one virtual dispatch, then a non-virtual demux per
+  /// frame (slot lookup is an id-range subtraction, not worth run-batching).
+  void on_deliver_batch(FrameSpan frames) override {
+    for (const Frame& f : frames) handle_reply(f);
+  }
 
   /// Start a write by writer `wi` on `key`; one op per slot at a time.
   /// Returns the OpId in key `key`'s history.
@@ -117,8 +124,9 @@ class ClientTable final : public Process {
   void broadcast(int slot, std::uint32_t key, MsgType type,
                  std::vector<std::uint8_t> payload);
 
-  void on_writer_reply(int slot, const Message& m);
-  void on_reader_reply(int slot, const Message& m);
+  void handle_reply(const Frame& m);
+  void on_writer_reply(int slot, const Frame& m);
+  void on_reader_reply(int slot, const Frame& m);
   void begin_write_round2(int slot, Tag tag);
   void complete_write(int slot);
   void complete_read(int slot, const TaggedValue& v);

@@ -1,5 +1,6 @@
 #include "core/harness.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -17,8 +18,26 @@ SimHarness::SimHarness(const Protocol& proto, Options opts)
   // inject delay spikes; at factor 1.0 the wrapper is transparent.
   auto spike = std::make_unique<SpikeDelay>(std::move(delay));
   spike_ = spike.get();
-  net_ = std::make_unique<Network>(sim_, std::move(spike), rng_.fork(),
-                                   opts.fifo);
+  Network::Options nopts;
+  nopts.fifo = opts.fifo;
+  nopts.coalesce = opts.coalesce;
+  nopts.tick = opts.tick;
+  net_ = std::make_unique<Network>(sim_, std::move(spike), rng_.fork(), nopts);
+  if (opts.coalesce) {
+    // Pre-size the batch rings from cluster shape. A batch is one delivery
+    // tick; the number concurrently open is bounded by the in-flight
+    // horizon (at fine ticks, roughly the number of nodes with traffic in
+    // flight), and a tick's frame count starts around the quorum fan-in of
+    // one round. ~64 payload bytes covers the fast-read entry encodings
+    // seen in practice; real traffic ratchets every capacity from actual
+    // shapes during warmup, so these are seeds, not ceilings.
+    const int shards = keyspace_.multi() ? keyspace_.shards : 1;
+    const std::size_t dests = static_cast<std::size_t>(shards * cfg_.s()) +
+                              static_cast<std::size_t>(cfg_.w() + cfg_.r());
+    const auto fan_in = static_cast<std::size_t>(
+        std::min(std::max(cfg_.s(), cfg_.w() + cfg_.r()), 64));
+    net_->reserve_coalescing(dests, fan_in, 64);
+  }
 
   const bool table_mode = opts.table_clients || keyspace_.multi();
   if (!table_mode) {

@@ -49,6 +49,13 @@ class SimHarness {
     /// WriterApi/ReaderApi instances. Wire-identical on a single register;
     /// required (and implied) for multi-key keyspaces.
     bool table_clients = false;
+    /// Batch same-(destination, tick) deliveries into one simulator event
+    /// (Network::Options::coalesce). Observably identical to the
+    /// per-message engine — histories, digests, and stats match bit for
+    /// bit — it only changes how fast the simulation runs.
+    bool coalesce = false;
+    /// Delivery-time quantum (Network::Options::tick); 1 = exact-ns.
+    Duration tick = 1;
   };
 
   SimHarness(const Protocol& proto, Options opts);

@@ -98,15 +98,39 @@ class KeyRouter final : public Process {
     net().attach(id(), *this);
   }
 
-  void on_message(const Message& m) override {
-    replicas_[static_cast<std::size_t>(m.key) / static_cast<std::size_t>(
-                                                    shards_)]
-        ->on_message(m);
+  void on_message(const Frame& m) override {
+    replica_of(m.key).on_message(m);
+  }
+
+  /// Batched delivery: forward maximal same-replica runs as subspans, so a
+  /// burst of requests for one key costs one demux and one virtual dispatch
+  /// instead of one per frame.
+  void on_deliver_batch(FrameSpan frames) override {
+    std::size_t i = 0;
+    while (i < frames.size()) {
+      const std::size_t rep =
+          static_cast<std::size_t>(frames[i].key) /
+          static_cast<std::size_t>(shards_);
+      std::size_t j = i + 1;
+      while (j < frames.size() &&
+             static_cast<std::size_t>(frames[j].key) /
+                     static_cast<std::size_t>(shards_) ==
+                 rep) {
+        ++j;
+      }
+      replicas_[rep]->on_deliver_batch(frames.subspan(i, j - i));
+      i = j;
+    }
   }
 
   [[nodiscard]] std::size_t num_replicas() const { return replicas_.size(); }
 
  private:
+  [[nodiscard]] Process& replica_of(std::uint32_t key) const {
+    return *replicas_[static_cast<std::size_t>(key) /
+                      static_cast<std::size_t>(shards_)];
+  }
+
   int shards_;
   std::vector<std::unique_ptr<Process>> replicas_;
 };

@@ -23,18 +23,17 @@ void RpcClient::round_trip(MsgType type, std::vector<std::uint8_t> payload,
   round.done = std::move(done);
   round.replies.reserve(static_cast<std::size_t>(cfg_.s()));
   pending_.push_back(std::move(round));
-  // Fan out one pooled copy of the payload per server, then recycle the
-  // original: per-hop cost is a memcpy into recycled capacity, not an
-  // allocation.
+  // Fan out through the byte-span path, then recycle the original buffer:
+  // the per-message engine makes one pooled copy per server (a memcpy into
+  // recycled capacity, not an allocation); the batched engine copies the
+  // bytes straight into each destination's slab.
   for (NodeId s : cfg_.server_ids()) {
-    std::vector<std::uint8_t> buf = pool().acquire();
-    buf.assign(payload.begin(), payload.end());
-    send(s, type, rpc, std::move(buf));
+    net().send_bytes(id(), s, type, /*key=*/0, rpc, ByteSpan(payload));
   }
   pool().release(std::move(payload));
 }
 
-void RpcClient::on_message(const Message& m) {
+void RpcClient::handle_reply(const Frame& m) {
   std::size_t idx = pending_.size();
   for (std::size_t i = 0; i < pending_.size(); ++i) {
     if (pending_[i].rpc_id == m.rpc_id) {

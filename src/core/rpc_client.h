@@ -36,7 +36,13 @@ class RpcClient : public Process {
   RpcClient(NodeId id, Network& net, const ClusterConfig& cfg)
       : Process(id, net), cfg_(cfg) {}
 
-  void on_message(const Message& m) final;
+  void on_message(const Frame& m) final { handle_reply(m); }
+
+  /// Batched delivery: acks from several servers in one tick arrive as one
+  /// span; demux to rounds without re-entering the virtual dispatcher.
+  void on_deliver_batch(FrameSpan frames) final {
+    for (const Frame& f : frames) handle_reply(f);
+  }
 
   /// Number of round-trips completed by this client (for latency accounting).
   [[nodiscard]] std::uint64_t rounds_completed() const { return rounds_done_; }
@@ -65,6 +71,8 @@ class RpcClient : public Process {
 
   /// Recycle a completed round's reply buffers and vector capacity.
   void retire_round(PendingRound&& round);
+
+  void handle_reply(const Frame& m);
 
   ClusterConfig cfg_;
   std::uint64_t next_rpc_ = 1;

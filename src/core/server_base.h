@@ -14,14 +14,14 @@ class ServerBase : public Process {
   ServerBase(NodeId id, Network& net, const ClusterConfig& cfg)
       : Process(id, net), cfg_(cfg) {}
 
-  void on_message(const Message& m) final { handle_request(m); }
+  void on_message(const Frame& m) final { handle_request(m); }
 
  protected:
   const ClusterConfig& cfg() const { return cfg_; }
 
-  virtual void handle_request(const Message& req) = 0;
+  virtual void handle_request(const Frame& req) = 0;
 
-  void reply(const Message& req, MsgType type,
+  void reply(const Frame& req, MsgType type,
              std::vector<std::uint8_t> payload) {
     send(req.src, type, req.rpc_id, std::move(payload));
   }

@@ -156,6 +156,8 @@ TrialResult run_trial(const ExperimentSpec& spec, int spec_index,
   o.fifo = spec.fifo;
   o.keyspace = tr.keyspace;
   o.table_clients = spec.table_clients || tr.keyspace.multi();
+  o.coalesce = spec.coalesce;
+  o.tick = spec.tick;
   if (spec.delay) o.delay = spec.delay(cfg);
   SimHarness h(*proto, std::move(o));
   if (plan != nullptr) h.install_fault_plan(*plan);
@@ -189,7 +191,13 @@ TrialResult run_trial(const ExperimentSpec& spec, int spec_index,
     tr.completed_ops += hist.completed_count();
   }
   tr.msgs_sent = h.net().stats().sent;
-  tr.sim_events = h.sim().executed();
+  // Report the engine-independent (logical) event count: under coalescing a
+  // batch event carries many frames, so substitute one event per enqueued
+  // frame for each batch firing — exactly what the per-message engine would
+  // have executed. Keeps trial digests comparable across engines.
+  const CoalesceStats& cs = h.net().coalesce_stats();
+  tr.sim_events =
+      h.sim().executed() - cs.batches - cs.continuations + cs.enqueued;
   if (h.fault_log() != nullptr) {
     const FaultMetrics fm = compute_fault_metrics(h.history(), *h.fault_log());
     tr.faults_injected = fm.faults_injected;

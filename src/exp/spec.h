@@ -84,6 +84,13 @@ struct ExperimentSpec {
   /// FIFO per-link delivery (SimHarness::Options::fifo).
   bool fifo = false;
 
+  /// Batched delivery (SimHarness::Options::coalesce / tick). Observably
+  /// identical to the per-message engine — like table_clients, these are
+  /// deliberately NOT part of cell_digest, so flipping them reproduces the
+  /// same harness seeds and bit-identical results.
+  bool coalesce = false;
+  Duration tick = 1;
+
   /// Also run the O(n^2) exact unique-value-graph checker per trial (the
   /// O(n log n) tag-witness checker always runs).
   bool check_graph = false;

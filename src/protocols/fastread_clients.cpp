@@ -182,8 +182,7 @@ void FastReader::read_delta(std::function<void(TaggedValue)> done) {
       });
 }
 
-bool fr_apply_delta(FrServerCache& cache,
-                    const std::vector<std::uint8_t>& payload,
+bool fr_apply_delta(FrServerCache& cache, ByteSpan payload,
                     FrEntry& scratch) {
   ByteReader r(payload);
   const FrDeltaHeader h = get_delta_ack_header(r);

@@ -60,8 +60,7 @@ struct FrServerCache {
 /// when the whole delta decoded. `scratch` is a caller-owned reusable decode
 /// buffer (its vectors keep their capacity across calls). Returns false on
 /// malformed input.
-bool fr_apply_delta(FrServerCache& cache,
-                    const std::vector<std::uint8_t>& payload, FrEntry& scratch);
+bool fr_apply_delta(FrServerCache& cache, ByteSpan payload, FrEntry& scratch);
 
 /// Largest candidate admissible at some degree a in [1, r+1] — the shared
 /// decision of the full and delta read paths. `cands` must be sorted

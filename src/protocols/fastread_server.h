@@ -77,8 +77,14 @@ class FastReadServer final : public ServerBase {
     return snapshot_arena_.grows();
   }
 
+  /// Batched delivery: one virtual dispatch per span, then a non-virtual
+  /// per-frame loop through the request switch.
+  void on_deliver_batch(FrameSpan frames) final {
+    for (const Frame& f : frames) handle_request(f);
+  }
+
  protected:
-  void handle_request(const Message& req) override {
+  void handle_request(const Frame& req) final {
     switch (req.type) {
       case kFrQueryReq:
         reply(req, kFrQueryAck, encode_tag(pool(), vali_.tag));
@@ -143,7 +149,7 @@ class FastReadServer final : public ServerBase {
   /// watermark, re-admit its watermark value, confirm it on every entry,
   /// advance the GC floor, then reply with only the entries newer than the
   /// revision the reader acknowledged.
-  void handle_delta_read(const Message& req) {
+  void handle_delta_read(const Frame& req) {
     ByteReader r(req.payload);
     const bool ok = decode_delta_read_req_into(r, req_queue_, req_acks_);
     assert(ok && "malformed kFrReadDeltaReq");

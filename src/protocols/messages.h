@@ -63,7 +63,7 @@ inline std::vector<std::uint8_t> encode_value(const TaggedValue& v) {
   return w.take();
 }
 
-inline TaggedValue decode_value(const std::vector<std::uint8_t>& bytes) {
+inline TaggedValue decode_value(ByteSpan bytes) {
   ByteReader r(bytes);
   return r.get_value();
 }
@@ -129,7 +129,7 @@ inline std::vector<std::uint8_t> encode_tag(const Tag& t) {
   return w.take();
 }
 
-inline Tag decode_tag(const std::vector<std::uint8_t>& bytes) {
+inline Tag decode_tag(ByteSpan bytes) {
   ByteReader r(bytes);
   return r.get_tag();
 }
@@ -154,8 +154,7 @@ inline std::vector<std::uint8_t> encode_value_list(
   return w.take();
 }
 
-inline std::vector<TaggedValue> decode_value_list(
-    const std::vector<std::uint8_t>& bytes) {
+inline std::vector<TaggedValue> decode_value_list(ByteSpan bytes) {
   ByteReader r(bytes);
   return r.get_vector<TaggedValue>(
       [](ByteReader& br) { return br.get_value(); });
@@ -220,8 +219,7 @@ inline bool decode_entries_into(ByteReader& r, FrEntryArena& out) {
   return r.ok();
 }
 
-inline std::vector<FrEntry> decode_entries(
-    const std::vector<std::uint8_t>& bytes) {
+inline std::vector<FrEntry> decode_entries(ByteSpan bytes) {
   ByteReader r(bytes);
   return r.get_vector<FrEntry>([](ByteReader& br) {
     FrEntry e;

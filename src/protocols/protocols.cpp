@@ -52,11 +52,13 @@ std::unique_ptr<ReaderApi> NaiveFastWriteProtocol::make_reader(
   return std::make_unique<TwoRoundReader>(id, net, cfg);
 }
 
-// ---- FastReadMw (W2R1, the paper's Algorithm 1 & 2) ----
+// ---- FastReadMw (W2R1, the paper's Algorithm 1 & 2; GC'd by default) ----
 
 std::unique_ptr<Process> FastReadMwProtocol::make_server(
     NodeId id, Network& net, const ClusterConfig& cfg) const {
-  return std::make_unique<FastReadServer>(id, net, cfg);
+  FastReadServer::Options o;
+  o.gc_enabled = true;
+  return std::make_unique<FastReadServer>(id, net, cfg, o);
 }
 std::unique_ptr<WriterApi> FastReadMwProtocol::make_writer(
     NodeId id, Network& net, const ClusterConfig& cfg) const {
@@ -64,24 +66,22 @@ std::unique_ptr<WriterApi> FastReadMwProtocol::make_writer(
 }
 std::unique_ptr<ReaderApi> FastReadMwProtocol::make_reader(
     NodeId id, Network& net, const ClusterConfig& cfg) const {
-  return std::make_unique<FastReader>(id, net, cfg);
+  return std::make_unique<FastReader>(id, net, cfg, /*gc_enabled=*/true);
 }
 
-// ---- GcFastReadMw (W2R1 with valuevector GC + delta read acks) ----
+// ---- NoGcFastReadMw (W2R1 full-ack ablation, the O(ops^2) baseline) ----
 
-std::unique_ptr<Process> GcFastReadMwProtocol::make_server(
+std::unique_ptr<Process> NoGcFastReadMwProtocol::make_server(
     NodeId id, Network& net, const ClusterConfig& cfg) const {
-  FastReadServer::Options o;
-  o.gc_enabled = true;
-  return std::make_unique<FastReadServer>(id, net, cfg, o);
+  return std::make_unique<FastReadServer>(id, net, cfg);
 }
-std::unique_ptr<WriterApi> GcFastReadMwProtocol::make_writer(
+std::unique_ptr<WriterApi> NoGcFastReadMwProtocol::make_writer(
     NodeId id, Network& net, const ClusterConfig& cfg) const {
   return std::make_unique<QueryThenWriter>(id, net, cfg);
 }
-std::unique_ptr<ReaderApi> GcFastReadMwProtocol::make_reader(
+std::unique_ptr<ReaderApi> NoGcFastReadMwProtocol::make_reader(
     NodeId id, Network& net, const ClusterConfig& cfg) const {
-  return std::make_unique<FastReader>(id, net, cfg, /*gc_enabled=*/true);
+  return std::make_unique<FastReader>(id, net, cfg);
 }
 
 // ---- LiteralFastReadMw (pseudocode-as-printed ablation) ----
@@ -142,12 +142,12 @@ std::vector<const Protocol*> all_protocols() {
   static const AbdSwmrProtocol abd_swmr;
   static const NaiveFastWriteProtocol naive;
   static const FastReadMwProtocol fast_read;
-  static const GcFastReadMwProtocol fast_read_gc;
+  static const NoGcFastReadMwProtocol fast_read_nogc;
   static const FastSwmrProtocol fast_swmr;
   static const RegularFastReadProtocol regular_fast;
   static const LiteralFastReadMwProtocol literal_fast_read;
-  return {&mw_abd,    &abd_swmr,     &naive,
-          &fast_read, &fast_read_gc, &fast_swmr,
+  return {&mw_abd,    &abd_swmr,       &naive,
+          &fast_read, &fast_read_nogc, &fast_swmr,
           &regular_fast, &literal_fast_read};
 }
 

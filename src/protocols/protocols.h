@@ -86,6 +86,15 @@ class NaiveFastWriteProtocol final : public Protocol {
       NodeId id, Network& net, const ClusterConfig& cfg) const override;
 };
 
+/// The paper's Algorithm 1 & 2, running (since PR 7, like fast-swmr since
+/// PR 5) with valuevector garbage collection and incremental (delta) read
+/// acks: servers prune entries strictly below the minimum confirmed reader
+/// watermark and send only entries newer than the revision the reader
+/// acknowledged (DESIGN.md section 6). Server memory and read-ack bytes
+/// stay O(active values) instead of O(all writes ever). GC is
+/// observationally invisible — same message counts, same returned values,
+/// same verdicts (tests/gc_safety_test.cpp pins this against the no-GC
+/// ablation below) — so flipping the default changed no digest.
 class FastReadMwProtocol final : public Protocol {
  public:
   std::string name() const override { return "fast-read-mw(W2R1)"; }
@@ -98,7 +107,7 @@ class FastReadMwProtocol final : public Protocol {
     return TableWriterProgram::kFrQueryThenWrite;
   }
   TableReaderProgram table_reader() const override {
-    return TableReaderProgram::kFrFull;
+    return TableReaderProgram::kFrDelta;
   }
   std::unique_ptr<Process> make_server(
       NodeId id, Network& net, const ClusterConfig& cfg) const override;
@@ -108,19 +117,16 @@ class FastReadMwProtocol final : public Protocol {
       NodeId id, Network& net, const ClusterConfig& cfg) const override;
 };
 
-/// Algorithm 1 & 2 plus valuevector garbage collection and incremental
-/// (delta) read acks: servers prune entries strictly below the minimum
-/// confirmed reader watermark and send only entries newer than the
-/// revision the reader acknowledged (DESIGN.md section 6). Observationally
-/// identical to FastReadMwProtocol — same messages counts, same returned
-/// values, same verdicts (tests/gc_safety_test.cpp pins this) — while
-/// server memory and read-ack bytes stay O(active values) instead of
-/// O(all writes ever). The separate registry name makes the GC toggle a
-/// sweep axis: exp::cell_digest keys on the protocol name, so GC-on and
-/// GC-off cells never share RNG streams.
-class GcFastReadMwProtocol final : public Protocol {
+/// Algorithm 1 & 2 WITHOUT garbage collection: valuevectors grow with
+/// every write and read acks replay the full vector — the O(ops^2)
+/// baseline the GC'd default is measured against (bench_valuevector) and
+/// the reference side of the gc_safety observational-identity pin. Kept
+/// registered as an ablation; the separate registry name makes the GC
+/// toggle a sweep axis: exp::cell_digest keys on the protocol name, so
+/// GC-on and GC-off cells never share RNG streams.
+class NoGcFastReadMwProtocol final : public Protocol {
  public:
-  std::string name() const override { return "fast-read-mw-gc(W2R1)"; }
+  std::string name() const override { return "fast-read-mw-nogc(W2R1)"; }
   int write_round_trips() const override { return 2; }
   int read_round_trips() const override { return 1; }
   bool guarantees_atomicity(const ClusterConfig& cfg) const override {
@@ -130,7 +136,7 @@ class GcFastReadMwProtocol final : public Protocol {
     return TableWriterProgram::kFrQueryThenWrite;
   }
   TableReaderProgram table_reader() const override {
-    return TableReaderProgram::kFrDelta;
+    return TableReaderProgram::kFrFull;
   }
   std::unique_ptr<Process> make_server(
       NodeId id, Network& net, const ClusterConfig& cfg) const override;
@@ -196,7 +202,7 @@ class RegularFastReadProtocol final : public Protocol {
 };
 
 /// Since PR 5 the W1R1 protocol runs with valuevector GC and delta read
-/// acks by default — the same bounded-memory path as fast-read-mw-gc, which
+/// acks by default — the same bounded-memory path as fast-read-mw, which
 /// a single writer benefits from just as much (the valuevector otherwise
 /// grows with every write). Observational behavior (round-trips, verdicts)
 /// is unchanged; message *contents* differ from the pre-PR-5 full-ack wire

@@ -14,8 +14,14 @@ class QuorumServer final : public ServerBase {
 
   [[nodiscard]] const TaggedValue& stored() const { return value_; }
 
+  /// Batched delivery: one virtual dispatch per span, then a non-virtual
+  /// per-frame loop (the switch in handle_request is the whole handler).
+  void on_deliver_batch(FrameSpan frames) final {
+    for (const Frame& f : frames) handle_request(f);
+  }
+
  protected:
-  void handle_request(const Message& req) override {
+  void handle_request(const Frame& req) final {
     switch (req.type) {
       case kAbdReadReq:
         reply(req, kAbdReadAck, encode_value(pool(), value_));

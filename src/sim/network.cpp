@@ -5,9 +5,33 @@
 
 namespace mwreg {
 
+namespace {
+
+/// Mix a deliver-time into a table index. Fibonacci-style multiply so
+/// consecutive ticks land in different slots.
+std::size_t open_hash(Time at) {
+  std::uint64_t x = static_cast<std::uint64_t>(at);
+  x *= 0x9E3779B97F4A7C15ULL;
+  return static_cast<std::size_t>(x >> 32);
+}
+
+int span_bucket(std::size_t n) {
+  int b = 0;
+  while (n > 1 && b < CoalesceStats::kHistBuckets - 1) {
+    n >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
 Network::Network(Simulator& sim, std::unique_ptr<DelayModel> delay, Rng rng,
-                 bool fifo)
-    : sim_(sim), delay_(std::move(delay)), rng_(rng), fifo_(fifo) {}
+                 Options opts)
+    : sim_(sim), delay_(std::move(delay)), rng_(rng), opts_(opts) {
+  if (opts_.tick < 1) opts_.tick = 1;
+  if (opts_.coalesce) open_tab_.resize(1024);
+}
 
 void Network::attach(NodeId id, Process& p) {
   if (static_cast<std::size_t>(id) >= procs_.size()) {
@@ -16,7 +40,49 @@ void Network::attach(NodeId id, Process& p) {
   procs_[static_cast<std::size_t>(id)] = &p;
 }
 
+void Network::reserve_coalescing(std::size_t expected_batches,
+                                 std::size_t frames_per_batch,
+                                 std::size_t bytes_per_frame) {
+  if (!opts_.coalesce) return;
+  std::size_t tab = open_tab_.size();
+  while (tab < 4 * expected_batches) tab <<= 1;
+  if (tab > open_tab_.size()) open_tab_.assign(tab, OpenEntry{});
+  // The lookup table is sized for the full destination count (entries are
+  // cheap and collisions cost coalescing quality), but batch pre-creation
+  // is bounded: past this, warmup traffic grows the pool organically and
+  // capacities ratchet from real frame shapes instead of worst-case ones.
+  const std::size_t precreate = std::min<std::size_t>(expected_batches, 4096);
+  while (batches_.size() < precreate) {
+    batches_.push_back(std::make_unique<Batch>());
+    Batch& b = *batches_.back();
+    b.slab.reserve(frames_per_batch * bytes_per_frame);
+    b.frames.reserve(frames_per_batch);
+    b.meta.reserve(frames_per_batch);
+    free_batches_.push_back(static_cast<std::uint32_t>(batches_.size() - 1));
+  }
+}
+
 void Network::discard(Message&& m) { pool_.release(std::move(m.payload)); }
+
+Time Network::arrival_time(NodeId src, NodeId dst) {
+  const Duration d = delay_->sample(src, dst, rng_);
+  Time at = sim_.now() + d;
+  if (opts_.tick > 1) {
+    // Round up to the tick grid — applied identically in both engines, so
+    // coalescing on/off stays bit-identical at any tick.
+    at = ((at + opts_.tick - 1) / opts_.tick) * opts_.tick;
+  }
+  if (opts_.fifo) {
+    const auto di = static_cast<std::size_t>(dst);
+    const auto si = static_cast<std::size_t>(src);
+    if (fifo_last_.size() <= di) fifo_last_.resize(di + 1);
+    auto& row = fifo_last_[di];
+    if (row.size() <= si) row.resize(si + 1, 0);
+    at = std::max(at, row[si]);
+    row[si] = at;
+  }
+  return at;
+}
 
 void Network::send(Message m) {
   ++stats_.sent;
@@ -25,6 +91,50 @@ void Network::send(Message m) {
     ++stats_.from_crashed;
     discard(std::move(m));
     return;
+  }
+  deliver_later(std::move(m), sim_.now());
+}
+
+void Network::send_bytes(NodeId src, NodeId dst, MsgType type,
+                         std::uint32_t key, std::uint64_t rpc_id,
+                         ByteSpan bytes) {
+  ++stats_.sent;
+  stats_.bytes_sent += bytes.size();
+  if (crashed(src)) {
+    ++stats_.from_crashed;
+    return;
+  }
+  if (opts_.coalesce) {
+    // Same check order as deliver_later: crash, block, then delay sample —
+    // blocked and dropped messages draw no randomness in either engine.
+    if (crashed(dst)) {
+      ++stats_.to_crashed;
+      return;
+    }
+    if (link_blocked(src, dst)) {
+      Frame f;
+      f.src = src;
+      f.dst = dst;
+      f.type = type;
+      f.key = key;
+      f.rpc_id = rpc_id;
+      f.payload = bytes;
+      hold_copy(f, sim_.now());
+      return;
+    }
+    enqueue_frame(src, dst, type, key, rpc_id, bytes, sim_.now(),
+                  arrival_time(src, dst));
+    return;
+  }
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.type = type;
+  m.key = key;
+  m.rpc_id = rpc_id;
+  if (!bytes.empty()) {
+    m.payload = pool_.acquire();
+    m.payload.assign(bytes.begin(), bytes.end());
   }
   deliver_later(std::move(m), sim_.now());
 }
@@ -40,16 +150,12 @@ void Network::deliver_later(Message m, Time sent) {
     ++stats_.held;
     return;
   }
-  Duration d = delay_->sample(m.src, m.dst, rng_);
-  Time at = sim_.now() + d;
-  if (fifo_) {
-    auto& row = last_delivery_;
-    const auto s = static_cast<std::size_t>(m.src);
-    const auto t = static_cast<std::size_t>(m.dst);
-    if (row.size() <= s) row.resize(s + 1);
-    if (row[s].size() <= t) row[s].resize(t + 1, 0);
-    at = std::max(at, row[s][t]);
-    row[s][t] = at;
+  const Time at = arrival_time(m.src, m.dst);
+  if (opts_.coalesce) {
+    enqueue_frame(m.src, m.dst, m.type, m.key, m.rpc_id, ByteSpan(m.payload),
+                  sent, at);
+    discard(std::move(m));  // bytes now live in the batch slab
+    return;
   }
   // The capture (this + Message + Time) fits the simulator's inline event
   // storage, so a hop schedules without allocating.
@@ -72,13 +178,167 @@ void Network::deliver_now(Message m, Time sent) {
     return;
   }
   ++stats_.delivered;
-  if (hook_) hook_(m, sent, sim_.now());
+  Frame f;
+  f.src = m.src;
+  f.dst = m.dst;
+  f.type = m.type;
+  f.key = m.key;
+  f.rpc_id = m.rpc_id;
+  f.payload = ByteSpan(m.payload);
+  if (hook_) hook_(f, sent, sim_.now());
   Process* p = static_cast<std::size_t>(m.dst) < procs_.size()
                    ? procs_[static_cast<std::size_t>(m.dst)]
                    : nullptr;
   assert(p != nullptr && "message to unattached node");
-  if (p != nullptr) p->on_message(m);
+  if (p != nullptr) p->on_message(f);
   discard(std::move(m));  // recycle the payload storage for the next hop
+}
+
+void Network::hold_copy(const Frame& f, Time sent) {
+  Message m;
+  m.src = f.src;
+  m.dst = f.dst;
+  m.type = f.type;
+  m.key = f.key;
+  m.rpc_id = f.rpc_id;
+  if (!f.payload.empty()) {
+    m.payload = pool_.acquire();
+    m.payload.assign(f.payload.begin(), f.payload.end());
+  }
+  held_.emplace_back(std::move(m), sent);
+  ++stats_.held;
+}
+
+std::uint32_t Network::acquire_batch() {
+  if (!free_batches_.empty()) {
+    const std::uint32_t bi = free_batches_.back();
+    free_batches_.pop_back();
+    Batch& b = *batches_[bi];
+    b.slab.clear();   // capacities ratchet: a warmed batch pool
+    b.frames.clear(); // appends and drains without allocating
+    b.meta.clear();
+    return bi;
+  }
+  batches_.push_back(std::make_unique<Batch>());
+  return static_cast<std::uint32_t>(batches_.size() - 1);
+}
+
+void Network::recycle_batch(std::uint32_t bi) { free_batches_.push_back(bi); }
+
+void Network::enqueue_frame(NodeId src, NodeId dst, MsgType type,
+                            std::uint32_t key, std::uint64_t rpc_id,
+                            ByteSpan bytes, Time sent, Time at) {
+  // One sequence number per frame — exactly what scheduling it as its own
+  // event would consume — pins the global (time, seq) order of every frame
+  // regardless of which batch it rides in.
+  const std::uint64_t seq = sim_.reserve_seq();
+  ++coalesce_stats_.enqueued;
+  OpenEntry& oe = open_tab_[open_hash(at) & (open_tab_.size() - 1)];
+  std::uint32_t bi;
+  if (oe.at == at) {
+    bi = oe.batch;  // join the open batch; its event is already scheduled
+  } else {
+    bi = acquire_batch();
+    Batch& nb = *batches_[bi];
+    nb.at = at;
+    nb.open_slot = static_cast<std::uint32_t>(&oe - open_tab_.data());
+    nb.sealed = false;
+    // Collision evicts the previous entry: that batch stays scheduled and
+    // simply stops being joinable — less coalescing, never wrong order.
+    oe.at = at;
+    oe.batch = bi;
+    sim_.schedule_at_seq(at, seq, [this, bi] { fire_batch(bi, 0); });
+  }
+  Batch& b = *batches_[bi];
+  FrameMeta fm;
+  fm.off = static_cast<std::uint32_t>(b.slab.size());
+  fm.sent = sent;
+  fm.seq = seq;
+  b.meta.push_back(fm);
+  b.slab.insert(b.slab.end(), bytes.begin(), bytes.end());
+  Frame f;
+  f.src = src;
+  f.dst = dst;
+  f.type = type;
+  f.key = key;
+  f.rpc_id = rpc_id;
+  // Appends may still grow (and move) the slab; the pointer is fixed up at
+  // seal time, the length is final now.
+  f.payload = ByteSpan(nullptr, bytes.size());
+  b.frames.push_back(f);
+}
+
+void Network::fire_batch(std::uint32_t bi, std::uint32_t from) {
+  Batch& b = *batches_[bi];
+  if (!b.sealed) {
+    b.sealed = true;
+    // Leave the open table (if we still own our slot — eviction may have
+    // reused it), so same-tick sends from handlers open a fresh batch
+    // instead of appending to one that is already draining.
+    OpenEntry& oe = open_tab_[b.open_slot];
+    if (oe.batch == bi && oe.at == b.at) oe.at = -1;
+    const std::uint8_t* base = b.slab.data();
+    for (std::size_t i = 0; i < b.frames.size(); ++i) {
+      b.frames[i].payload.ptr = base + b.meta[i].off;
+    }
+    ++coalesce_stats_.batches;
+  }
+  const auto n = static_cast<std::uint32_t>(b.frames.size());
+  std::uint32_t i = from;
+  while (i < n) {
+    // Yield whenever an intermediate event — a timer, a fault-plan step, an
+    // evicted sibling batch — orders before the next frame's (time, seq);
+    // the remainder reschedules at that frame's reserved sequence,
+    // reproducing the per-message interleaving exactly. The tick's frame
+    // list is in ascending sequence order by construction, so no event
+    // enqueued during this drain (its sequence is above every frame here)
+    // can ever force a yield.
+    if (sim_.has_event_before(b.at, b.meta[i].seq)) {
+      ++coalesce_stats_.continuations;
+      sim_.schedule_at_seq(b.at, b.meta[i].seq,
+                           [this, bi, i] { fire_batch(bi, i); });
+      return;
+    }
+    const NodeId dst = b.frames[i].dst;
+    Process* p = static_cast<std::size_t>(dst) < procs_.size()
+                     ? procs_[static_cast<std::size_t>(dst)]
+                     : nullptr;
+    assert(p != nullptr && "message to unattached node");
+    if (num_crashed_ == 0 && num_blocked_ == 0 && !hook_) {
+      // Fast path: no fault is active, so every frame up to the next
+      // destination switch or intermediate event delivers as one run.
+      std::uint32_t j = i + 1;
+      while (j < n && b.frames[j].dst == dst &&
+             !sim_.has_event_before(b.at, b.meta[j].seq)) {
+        ++j;
+      }
+      const std::uint32_t len = j - i;
+      stats_.delivered += len;
+      coalesce_stats_.frames += len;
+      ++coalesce_stats_.hist[span_bucket(len)];
+      if (p != nullptr) {
+        p->on_deliver_batch(FrameSpan{b.frames.data() + i, len});
+      }
+      i = j;
+    } else {
+      // Slow path: re-check fault state frame by frame, same order as the
+      // per-message engine (crash check, then block check, then delivery).
+      const Frame& f = b.frames[i];
+      if (crashed(dst)) {
+        ++stats_.to_crashed;
+      } else if (link_blocked(f.src, dst)) {
+        hold_copy(f, b.meta[i].sent);
+      } else {
+        ++stats_.delivered;
+        ++coalesce_stats_.frames;
+        ++coalesce_stats_.hist[0];
+        if (hook_) hook_(f, b.meta[i].sent, sim_.now());
+        if (p != nullptr) p->on_deliver_batch(FrameSpan{&f, 1});
+      }
+      ++i;
+    }
+  }
+  recycle_batch(bi);
 }
 
 void Network::crash(NodeId id) {

@@ -52,6 +52,40 @@ class Simulator {
     schedule_at(now_ + d, std::forward<Fn>(fn));
   }
 
+  // ---- batched-delivery support ----
+  //
+  // The batching network coalesces many frames into one delivery event but
+  // must reproduce the per-event (time, seq) execution order exactly. It
+  // does so by consuming one sequence number per frame via reserve_seq()
+  // (identical seq arithmetic to scheduling one event per frame), pushing a
+  // single event at the first frame's sequence with schedule_at_seq(), and
+  // yielding back to the heap mid-batch whenever has_event_before() says an
+  // intermediate event is due (rescheduling the remainder at the next
+  // frame's reserved sequence). DESIGN.md section 8 gives the argument.
+
+  /// Consume and return the next tie-break sequence number without pushing
+  /// an event. Pair with schedule_at_seq().
+  [[nodiscard]] std::uint64_t reserve_seq() { return next_seq_++; }
+
+  /// Schedule `fn` at absolute time `t` under a sequence number previously
+  /// obtained from reserve_seq(). Each reserved sequence may be scheduled
+  /// at most once (heap keys must stay unique).
+  template <typename Fn>
+  void schedule_at_seq(Time t, std::uint64_t seq, Fn&& fn) {
+    if (t < now_) t = now_;
+    const std::uint32_t slot = emplace_closure(std::forward<Fn>(fn));
+    heap_.push_back(HeapEntry{t, (seq << kSlotBits) | slot});
+    sift_up(heap_.size() - 1);
+  }
+
+  /// True when the earliest pending event orders strictly before (t, seq)
+  /// under the (time, seq) tie-break. O(1): one peek at the heap top.
+  [[nodiscard]] bool has_event_before(Time t, std::uint64_t seq) const {
+    if (heap_.empty()) return false;
+    const HeapEntry& top = heap_.front();
+    return top.t != t ? top.t < t : (top.key >> kSlotBits) < seq;
+  }
+
   /// Execute the next event. Returns false if the queue is empty.
   bool step();
 

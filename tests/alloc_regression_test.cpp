@@ -73,10 +73,12 @@ TEST(AllocRegression, SteadyStateW2R1WorkloadAllocatesNothing) {
   EXPECT_GT(h.net().pool().stats().acquired, pool_warm.acquired);
 }
 
-TEST(AllocRegression, GcProtocolSteadyStateAllocatesNothingFromEngineOrPool) {
-  // Same invariant as above for the GC+delta protocol: bounded read acks
-  // mean the payload pool's ratcheted capacities cover steady state too.
-  const Protocol* proto = protocol_by_name("fast-read-mw-gc(W2R1)");
+TEST(AllocRegression, NoGcAblationSteadyStateAllocatesNothingFromEngineOrPool) {
+  // Same invariant for the full-ack ablation (fast-read-mw ran this way
+  // before the PR 7 GC flip): ack payloads grow with the valuevector, but
+  // the pool's ratcheted size classes absorb the closed-loop burst without
+  // a fresh allocation.
+  const Protocol* proto = protocol_by_name("fast-read-mw-nogc(W2R1)");
   ASSERT_NE(proto, nullptr);
   SimHarness::Options o;
   o.cfg = ClusterConfig{5, 2, 1, 1};
@@ -218,6 +220,47 @@ TEST(AllocRegression, HundredThousandTableClientsSteadyStateAllocatesNothing) {
   EXPECT_EQ(h.net().pool().stats().misses - pool_warm.misses, 0u)
       << "a payload buffer was allocated fresh after warmup";
   EXPECT_GT(h.net().pool().stats().acquired, pool_warm.acquired);
+  EXPECT_EQ(h.sim().alloc_stats().heap_spills, 0u);
+}
+
+TEST(AllocRegression, CoalescedHundredThousandClientsSteadyStateAllocatesNothing) {
+  // Same 10^5-client workload with the batched delivery engine: batches,
+  // frame slabs, and the open-batch table all ratchet their capacity during
+  // warmup, after which coalesced steady-state traffic allocates nothing —
+  // no engine slabs, no pool misses, and no new Batch objects (the batch
+  // ring stops growing once the peak per-tick fan-in has been seen).
+  const Protocol* proto = protocol_by_name("mw-abd(W2R2)");
+  ASSERT_NE(proto, nullptr);
+  SimHarness::Options o;
+  o.cfg = ClusterConfig{5, 50'000, 50'000, 1};
+  o.keyspace = KeyspaceConfig{64, 8, 0.99};
+  o.seed = 42;
+  o.coalesce = true;
+  o.tick = 10 * kMicrosecond;  // coarse tick so batches actually form
+  SimHarness h(*proto, std::move(o));
+  ASSERT_TRUE(h.table_mode());
+
+  WorkloadOptions w;
+  w.ops_per_writer = 2;
+  w.ops_per_reader = 2;
+  run_keyspace_workload(h, w);  // warmup: 2 * 10^5 closed-loop ops
+
+  const std::uint64_t engine_allocs = h.sim().allocations();
+  const BufferPool::Stats pool_warm = h.net().pool().stats();
+  const std::size_t batch_ring = h.net().batch_pool_size();
+  EXPECT_GT(h.net().coalesce_stats().frames, 0u) << "nothing coalesced";
+
+  WorkloadOptions w2;
+  w2.ops_per_writer = 1;
+  w2.ops_per_reader = 1;
+  run_keyspace_workload(h, w2);  // steady state: 10^5 more ops, same table
+
+  EXPECT_EQ(h.sim().allocations() - engine_allocs, 0u)
+      << "slab chunks or closure heap-spills grew after warmup";
+  EXPECT_EQ(h.net().pool().stats().misses - pool_warm.misses, 0u)
+      << "a payload buffer was allocated fresh after warmup";
+  EXPECT_EQ(h.net().batch_pool_size(), batch_ring)
+      << "a Batch was created after warmup: ring growth must be warmup-only";
   EXPECT_EQ(h.sim().alloc_stats().heap_spills, 0u);
 }
 

@@ -90,7 +90,7 @@ TEST(ClientTableParity, ObjectAndTableClientsAgreeOnWiderCells) {
   // GC'd delta-read protocol (per-server caches, watermarks, ack arrays).
   ExperimentSpec spec;
   spec.name = "parity";
-  spec.protocols = {"mw-abd(W2R2)", "fast-read-mw-gc(W2R1)"};
+  spec.protocols = {"mw-abd(W2R2)", "fast-read-mw(W2R1)"};
   spec.clusters = {ClusterConfig{5, 4, 4, 1}, ClusterConfig{7, 2, 3, 1}};
   spec.seeds = 2;
   spec.workload.ops_per_writer = 6;

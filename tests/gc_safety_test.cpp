@@ -24,8 +24,10 @@
 namespace mwreg {
 namespace {
 
-constexpr const char* kGcOff = "fast-read-mw(W2R1)";
-constexpr const char* kGcOn = "fast-read-mw-gc(W2R1)";
+// GC is the default since the PR 7 flip; the no-GC ablation stays
+// registered precisely so this parity pin keeps a reference side.
+constexpr const char* kGcOff = "fast-read-mw-nogc(W2R1)";
+constexpr const char* kGcOn = "fast-read-mw(W2R1)";
 
 SimHarness make_harness(const char* proto, const ClusterConfig& cfg,
                         std::uint64_t seed) {
@@ -250,7 +252,7 @@ TEST(GcBytes, ReadAckBytesPlateauWithGcAndGrowWithoutIt) {
   auto ack_sizes = [](const char* proto, std::uint64_t seed) {
     SimHarness h = make_harness(proto, ClusterConfig{5, 2, 2, 1}, seed);
     std::vector<std::size_t> sizes;
-    h.net().set_delivery_hook([&sizes](const Message& m, Time, Time) {
+    h.net().set_delivery_hook([&sizes](const Frame& m, Time, Time) {
       if (m.type == kFrReadAck || m.type == kFrReadAckDelta) {
         sizes.push_back(m.payload.size());
       }

@@ -88,20 +88,46 @@ TEST(GoldenDeterminism, ThreadCountDoesNotChangeTheDigest) {
   EXPECT_EQ(digest_results(pooled.run(spec)), kGoldenBatchDigest);
 }
 
-TEST(GoldenDeterminism, GcProtocolDigestIsThreadCountInvariant) {
-  // The GC'd fast-read protocol has no golden constant (it post-dates the
-  // engine refactor), but its digests must be equally deterministic: the
+TEST(GoldenDeterminism, NoGcAblationDigestIsThreadCountInvariant) {
+  // The full-ack ablation has no golden constant (the name post-dates the
+  // GC default flip), but its digests must be equally deterministic: the
   // same spec at 1 and 4 runner threads is bit-identical, and repeats are
-  // stable. Watermarks, revisions, and the GC floor are all per-harness
-  // state, so thread scheduling must not leak into results.
+  // stable. (The GC'd path is the fast-read-mw default and is pinned by
+  // the golden constants above.)
   ExperimentSpec spec = golden_spec();
-  spec.protocols = {"fast-read-mw-gc(W2R1)"};
+  spec.protocols = {"fast-read-mw-nogc(W2R1)"};
   spec.clusters = {ClusterConfig{5, 2, 1, 1}, ClusterConfig{7, 2, 3, 1}};
   Runner serial(Runner::Options{1});
   Runner pooled(Runner::Options{4});
   const std::uint64_t serial_digest = digest_results(serial.run(spec));
   EXPECT_EQ(serial_digest, digest_results(pooled.run(spec)));
   EXPECT_EQ(serial_digest, digest_results(pooled.run(spec)));
+}
+
+TEST(GoldenDeterminism, CoalescingPreservesTheGoldenDigest) {
+  // The batched delivery engine at tick=1 must reproduce the recorded
+  // pre-refactor digest bit for bit: same histories, same message counts,
+  // same event times — coalescing only changes how fast they compute.
+  ExperimentSpec spec = golden_spec();
+  spec.coalesce = true;
+  Runner serial(Runner::Options{1});
+  EXPECT_EQ(digest_results(serial.run(spec)), kGoldenBatchDigest);
+}
+
+TEST(GoldenDeterminism, CoalescingAndTickAreEngineAndThreadInvariant) {
+  // At a coarse tick there is no recorded constant (quantization changes
+  // delivery times), but the four combinations {coalesce off/on} x {1/4
+  // runner threads} must all produce one digest.
+  ExperimentSpec spec = golden_spec();
+  spec.tick = 10 * kMicrosecond;
+  ExperimentSpec coalesced = spec;
+  coalesced.coalesce = true;
+  Runner serial(Runner::Options{1});
+  Runner pooled(Runner::Options{4});
+  const std::uint64_t base = digest_results(serial.run(spec));
+  EXPECT_EQ(base, digest_results(serial.run(coalesced)));
+  EXPECT_EQ(base, digest_results(pooled.run(spec)));
+  EXPECT_EQ(base, digest_results(pooled.run(coalesced)));
 }
 
 TEST(GoldenDeterminism, FaultFreeCellDigestsUnchanged) {
