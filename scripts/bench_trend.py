@@ -23,6 +23,12 @@ normalized ratio fails; absolute machine speed cancels out.
 The gate also re-asserts the allocation-free steady state: any workload
 row with nonzero steady_engine_allocs/steady_pool_misses fails.
 
+Schema v5 adds two absolute (non-ratio) gates on the fanout_replay
+section: the destination-major drain's mean dispatched-run length on the
+W2R2 table fan-out must stay >= 8, and the section itself must not vanish
+once baselined. Run length is deterministic (a property of the schedule,
+not the machine), so it is gated absolutely.
+
 Refreshing the baseline after a deliberate perf change:
     cmake --build build --target refresh-baseline
 then commit bench/baselines/BENCH_simcore.baseline.json with the PR that
@@ -53,10 +59,29 @@ def collect_rows(doc):
         )
         # Schema v4: coalesced rows share (protocol, clients, ops) with
         # their per-message twins; the suffix keeps per-message keys stable
-        # so v3 baselines stay comparable.
+        # so v3 baselines stay comparable. Schema v5 twins the coalesced
+        # rows again on the drain: "/coalesced" stays the default engine
+        # (dest-major — absent field defaults True so v4 baselines keep
+        # their key), the frame-order ablation gets its own suffix.
         if m.get("coalesce", False):
-            key += "/coalesced"
+            key += (
+                "/coalesced"
+                if m.get("dest_major", True)
+                else "/coalesced/frame-order"
+            )
         rows[key] = (float(m["events_per_sec"]), float(m.get("wall_ms", 0)))
+    fo = doc.get("fanout_replay")
+    if fo:
+        # Deterministic schedule, wall-clock denominator: both drain lanes
+        # ride the normalized ratio gate like every other row.
+        for field, name in (
+            ("frame_order_events_per_sec", "frame_order"),
+            ("dest_major_events_per_sec", "dest_major"),
+        ):
+            rows["fanout_replay/" + name] = (
+                float(fo[field]),
+                float(fo.get("wall_ms", 100.0)),
+            )
     co = doc.get("coalescing")
     if co:
         # The batched-delivery replay has no per-row wall_ms; each number is
@@ -101,6 +126,39 @@ def coalescing_lines(doc):
             )
         )
     return lines
+
+
+MIN_MEAN_RUN_LEN = 8.0
+
+
+def run_length_failures(doc):
+    """Schema v5 hard gate: the dest-major drain must keep dispatched runs
+    long on the W2R2 table fan-out. Deterministic, so gated absolutely."""
+    fo = doc.get("fanout_replay")
+    if not fo:
+        return []
+    mean = float(fo.get("mean_run_len", 0.0))
+    if mean < MIN_MEAN_RUN_LEN:
+        return [
+            "fanout_replay: dest-major mean run length {:.2f} < {:g} "
+            "(dispatched runs went short)".format(mean, MIN_MEAN_RUN_LEN)
+        ]
+    return []
+
+
+def fanout_lines(doc):
+    fo = doc.get("fanout_replay")
+    if not fo:
+        return []
+    return [
+        "fanout_replay: mean run {:.2f} dest-major vs {:.2f} frame-order "
+        "({:.2f}x events/sec, {} staged replies)".format(
+            float(fo.get("mean_run_len", 0)),
+            float(fo.get("frame_order_mean_run_len", 0)),
+            float(fo.get("dest_major_speedup", 0)),
+            int(fo.get("staged_replies", 0)),
+        )
+    ]
 
 
 def calibration(doc):
@@ -206,7 +264,10 @@ def compare(artifact, baseline, max_regression, min_wall_ms=5.0):
         )
 
     lines.extend(coalescing_lines(artifact))
+    lines.extend(fanout_lines(artifact))
     for msg in steady_alloc_failures(artifact):
+        failures.append(msg)
+    for msg in run_length_failures(artifact):
         failures.append(msg)
     return failures, lines
 
@@ -222,18 +283,21 @@ def _doc(
     million=None,
     coalescing=None,
     batched_eps=None,
+    fanout=None,
 ):
     """Synthetic artifact with the given {(proto, cluster): eps} workloads.
 
-    `million` is an optional {(clients, ops[, coalesce]): (eps, steady)}
-    dict rendered as the million_client section. `coalescing` is an
-    optional (per_message_eps, coalesced_eps, steady) tuple rendered as the
-    schema v4 coalescing section. `batched_eps` populates the v4
-    engine_comparison batched-engine row.
+    `million` is an optional {(clients, ops[, coalesce[, dest_major]]):
+    (eps, steady)} dict rendered as the million_client section.
+    `coalescing` is an optional (per_message_eps, coalesced_eps, steady)
+    tuple rendered as the schema v4 coalescing section. `batched_eps`
+    populates the v4 engine_comparison batched-engine row. `fanout` is an
+    optional (frame_order_eps, dest_major_eps, mean_run_len) tuple rendered
+    as the schema v5 fanout_replay section.
     """
     doc = {
         "bench": "simcore_throughput",
-        "schema_version": 4,
+        "schema_version": 5,
         "engine_comparison": {"legacy_events_per_sec": legacy_eps},
         "workloads": [
             {
@@ -252,6 +316,7 @@ def _doc(
                 "clients": key[0],
                 "ops_per_client": key[1],
                 "coalesce": bool(key[2]) if len(key) > 2 else False,
+                "dest_major": bool(key[3]) if len(key) > 3 else True,
                 "events_per_sec": eps,
                 "wall_ms": wall_ms,
                 "steady_engine_allocs": msteady,
@@ -263,6 +328,23 @@ def _doc(
     }
     if batched_eps is not None:
         doc["engine_comparison"]["batched_events_per_sec"] = batched_eps
+    if fanout is not None:
+        fo_eps, dm_eps, mean_run = fanout
+        doc["fanout_replay"] = {
+            "workload": "w2r2_table_fanout",
+            "protocol": "mw-abd(W2R2)",
+            "clients": 10_000,
+            "ops_per_client": 4,
+            "frames": 800_000,
+            "frame_order_events_per_sec": fo_eps,
+            "frame_order_mean_run_len": 3.0,
+            "dest_major_events_per_sec": dm_eps,
+            "dest_major_speedup": dm_eps / fo_eps if fo_eps else 0,
+            "mean_run_len": mean_run,
+            "dest_major_ticks": 12_000,
+            "staged_replies": 600_000,
+            "wall_ms": wall_ms,
+        }
     if coalescing is not None:
         per_msg, coalesced, csteady = coalescing
         doc["coalescing"] = {
@@ -425,6 +507,92 @@ def self_test():
     ]
     for name, doc, want_fail in cchecks:
         failures, _ = compare(doc, cbase, 0.25)
+        checks.append((name, bool(failures) == want_fail, failures))
+
+    # Schema v5: the fanout_replay section carries two ratio-gated rows and
+    # the absolute mean-run-length gate; frame-order million twins are keyed
+    # apart from both the dest-major default and the per-message rows.
+    fbase = _doc(
+        {("fr", "S=5"): 4e5},
+        million={
+            (100_000, 10): (2e6, 0),
+            (100_000, 10, True, False): (6e6, 0),
+            (100_000, 10, True, True): (9e6, 0),
+        },
+        fanout=(3e6, 6e6, 11.0),
+    )
+    fchecks = [
+        (
+            "fanout-identical",
+            _doc(
+                {("fr", "S=5"): 4e5},
+                million={
+                    (100_000, 10): (2e6, 0),
+                    (100_000, 10, True, False): (6e6, 0),
+                    (100_000, 10, True, True): (9e6, 0),
+                },
+                fanout=(3e6, 6e6, 11.0),
+            ),
+            False,
+        ),
+        (
+            # Run length is gated absolutely: a short-run artifact fails
+            # even with throughput intact.
+            "fanout-short-runs",
+            _doc(
+                {("fr", "S=5"): 4e5},
+                million={
+                    (100_000, 10): (2e6, 0),
+                    (100_000, 10, True, False): (6e6, 0),
+                    (100_000, 10, True, True): (9e6, 0),
+                },
+                fanout=(3e6, 6e6, 5.0),
+            ),
+            True,
+        ),
+        (
+            "fanout-dest-major-eps-drop",
+            _doc(
+                {("fr", "S=5"): 4e5},
+                million={
+                    (100_000, 10): (2e6, 0),
+                    (100_000, 10, True, False): (6e6, 0),
+                    (100_000, 10, True, True): (9e6, 0),
+                },
+                fanout=(3e6, 4e6, 11.0),
+            ),
+            True,
+        ),
+        (
+            "fanout-section-vanished",
+            _doc(
+                {("fr", "S=5"): 4e5},
+                million={
+                    (100_000, 10): (2e6, 0),
+                    (100_000, 10, True, False): (6e6, 0),
+                    (100_000, 10, True, True): (9e6, 0),
+                },
+            ),
+            True,
+        ),
+        (
+            # Only the frame-order million twin regresses; neither sibling
+            # key may mask it.
+            "frame-order-million-drop",
+            _doc(
+                {("fr", "S=5"): 4e5},
+                million={
+                    (100_000, 10): (2e6, 0),
+                    (100_000, 10, True, False): (4e6, 0),
+                    (100_000, 10, True, True): (9e6, 0),
+                },
+                fanout=(3e6, 6e6, 11.0),
+            ),
+            True,
+        ),
+    ]
+    for name, doc, want_fail in fchecks:
+        failures, _ = compare(doc, fbase, 0.25)
         checks.append((name, bool(failures) == want_fail, failures))
 
     # The batched cost-model engine row is gated like any other once

@@ -27,12 +27,19 @@ import sys
 
 # (section, key fields...) — keys must match scripts/bench_trend.py.
 # "coalesce" (schema v4) distinguishes batched-delivery million_client rows
-# from their per-message twins; row_key uses .get() so v3 artifacts without
-# the field still key correctly.
+# from their per-message twins, "dest_major" (schema v5) splits the batched
+# rows again into destination-major and frame-order drains; row_key uses
+# .get() so older artifacts without the fields still key correctly.
 SECTIONS = {
     "workloads": ("protocol", "cluster"),
     "valuevector": ("protocol", "cluster", "workload"),
-    "million_client": ("protocol", "clients", "ops_per_client", "coalesce"),
+    "million_client": (
+        "protocol",
+        "clients",
+        "ops_per_client",
+        "coalesce",
+        "dest_major",
+    ),
 }
 MEDIANED_FIELDS = ("events_per_sec", "wall_ms")
 
@@ -105,6 +112,24 @@ def merge(docs):
             co_out["coalesced_events_per_sec"]
             / co_out["per_message_events_per_sec"]
         )
+
+    # Schema v5 fanout_replay: median the two wall-clock rates and wall_ms,
+    # re-derive the speedup; mean_run_len, tick and staging counters are
+    # deterministic and stay verbatim from the first run.
+    fo_rows = [d.get("fanout_replay", {}) for d in docs]
+    fo_out = merged.get("fanout_replay", {})
+    for field in (
+        "frame_order_events_per_sec",
+        "dest_major_events_per_sec",
+        "wall_ms",
+    ):
+        if all(field in f for f in fo_rows):
+            fo_out[field] = statistics.median(float(f[field]) for f in fo_rows)
+    if fo_out.get("frame_order_events_per_sec"):
+        fo_out["dest_major_speedup"] = (
+            fo_out["dest_major_events_per_sec"]
+            / fo_out["frame_order_events_per_sec"]
+        )
     return merged
 
 
@@ -114,7 +139,7 @@ def merge(docs):
 def _run(eps, wall, legacy=1e6, pooled=3e6, batched=9e6):
     return {
         "bench": "simcore_throughput",
-        "schema_version": 4,
+        "schema_version": 5,
         "engine_comparison": {
             "legacy_events_per_sec": legacy,
             "pooled_events_per_sec": pooled,
@@ -142,18 +167,38 @@ def _run(eps, wall, legacy=1e6, pooled=3e6, batched=9e6):
                 "wall_ms": wall,
             }
         ],
+        "fanout_replay": {
+            "workload": "w2r2_table_fanout",
+            "protocol": "mw-abd(W2R2)",
+            "clients": 10000,
+            "ops_per_client": 4,
+            "frames": 800000,
+            "frame_order_events_per_sec": eps * 20,
+            "frame_order_mean_run_len": 3.0,
+            "dest_major_events_per_sec": eps * 40,
+            "dest_major_speedup": 2.0,
+            "mean_run_len": 11.0,
+            "dest_major_ticks": 12000,
+            "staged_replies": 600000,
+            "wall_ms": wall,
+        },
         "million_client": [
             {
                 "protocol": "mw-abd(W2R2)",
                 "clients": 100000,
                 "ops_per_client": 10,
                 "coalesce": coalesce,
-                "events_per_sec": eps * (6 if coalesce else 2),
+                "dest_major": dest_major,
+                "events_per_sec": eps * (2 if not coalesce else 6 if not dest_major else 8),
                 "wall_ms": wall * 2,
                 "steady_engine_allocs": 0,
                 "steady_pool_misses": 0,
             }
-            for coalesce in (False, True)
+            for coalesce, dest_major in (
+                (False, False),
+                (True, False),
+                (True, True),
+            )
         ],
         "valuevector": [],
     }
@@ -193,6 +238,23 @@ def self_test():
         and m["coalescing"]["coalesced_events_per_sec"] == 9000.0,
     )
     check("coalescing-ratio-rederived", m["coalescing"]["coalesce_speedup"] == 3.0)
+    check(
+        "million-dest-major-keyed",
+        m["million_client"][2]["dest_major"] is True
+        and m["million_client"][2]["events_per_sec"] == 2400.0,
+    )
+    check(
+        "fanout-eps-median",
+        m["fanout_replay"]["frame_order_events_per_sec"] == 6000.0
+        and m["fanout_replay"]["dest_major_events_per_sec"] == 12000.0,
+    )
+    check("fanout-wall-median", m["fanout_replay"]["wall_ms"] == 6.0)
+    check("fanout-speedup-rederived", m["fanout_replay"]["dest_major_speedup"] == 2.0)
+    check(
+        "fanout-runlen-verbatim",
+        m["fanout_replay"]["mean_run_len"] == 11.0
+        and m["fanout_replay"]["frames"] == 800000,
+    )
     try:
         bad = _run(100.0, 10.0)
         bad["workloads"][0]["cluster"] = "S=7"

@@ -71,8 +71,12 @@ void ClientTable::broadcast(int slot, std::uint32_t key, MsgType type,
   // the free list for them would starve the capacity-carrying payloads at
   // 10^5-client bursts); the batched engine copies the bytes straight into
   // each destination's slab. Pool stats are not part of any digest.
+  // cause_ (the reply being handled, when this round chains off one)
+  // routes the fan-out through the reply-staging buffer under a
+  // destination-major drain; it is null for workload-initiated rounds.
   for (int i = 0; i < kc.s(); ++i) {
-    net().send_bytes(src, kc.server_id(i), type, key, rpc, ByteSpan(payload));
+    net().send_bytes(src, kc.server_id(i), type, key, rpc, ByteSpan(payload),
+                     cause_);
   }
   pool().release(std::move(payload));
 }
@@ -168,7 +172,11 @@ OpId ClientTable::start_read(int ri, std::uint32_t key) {
   return op;
 }
 
-void ClientTable::on_message(const Frame& m) { handle_reply(m); }
+void ClientTable::on_message(const Frame& m) {
+  cause_ = &m;
+  handle_reply(m);
+  cause_ = nullptr;
+}
 
 void ClientTable::handle_reply(const Frame& m) {
   const int slot = slot_of(m.dst);

@@ -63,8 +63,17 @@ class ClientTable final : public Process {
   /// Batched delivery: a tick's worth of replies to many table clients
   /// lands as one span; one virtual dispatch, then a non-virtual demux per
   /// frame (slot lookup is an id-range subtraction, not worth run-batching).
+  /// Under the destination-major drain this span covers EVERY table client
+  /// addressed in the tick (the table is one process at many node ids) —
+  /// the per-frame dst demux makes that free. Tracks the frame being
+  /// processed so mid-run round transitions (RT1 quorum -> RT2 broadcast)
+  /// attribute their fan-out to the triggering reply for reply staging.
   void on_deliver_batch(FrameSpan frames) override {
-    for (const Frame& f : frames) handle_reply(f);
+    for (const Frame& f : frames) {
+      cause_ = &f;
+      handle_reply(f);
+    }
+    cause_ = nullptr;
   }
 
   /// Start a write by writer `wi` on `key`; one op per slot at a time.
@@ -140,6 +149,9 @@ class ClientTable final : public Process {
   TableReaderProgram reader_program_;
   std::vector<History*> histories_;
   CompleteFn on_complete_;
+  /// Frame currently being handled (null outside delivery): the cause
+  /// passed to the network so mid-run broadcasts get staged (network.h).
+  const Frame* cause_ = nullptr;
   int w_ = 0;
   int r_ = 0;
   std::uint64_t rounds_done_ = 0;

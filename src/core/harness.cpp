@@ -22,6 +22,7 @@ SimHarness::SimHarness(const Protocol& proto, Options opts)
   nopts.fifo = opts.fifo;
   nopts.coalesce = opts.coalesce;
   nopts.tick = opts.tick;
+  nopts.dest_major = opts.dest_major;
   net_ = std::make_unique<Network>(sim_, std::move(spike), rng_.fork(), nopts);
   if (opts.coalesce) {
     // Pre-size the batch rings from cluster shape. A batch is one delivery

@@ -52,10 +52,16 @@ class SimHarness {
     /// Batch same-(destination, tick) deliveries into one simulator event
     /// (Network::Options::coalesce). Observably identical to the
     /// per-message engine — histories, digests, and stats match bit for
-    /// bit — it only changes how fast the simulation runs.
-    bool coalesce = false;
+    /// bit — it only changes how fast the simulation runs. Default ON
+    /// since the destination-major PR; per-message (false) is the
+    /// registered ablation, soaked by the schedule fuzzer's parity lanes.
+    bool coalesce = true;
     /// Delivery-time quantum (Network::Options::tick); 1 = exact-ns.
     Duration tick = 1;
+    /// Destination-major drain + reply staging when a tick's whole frame
+    /// window is foreign-event-free (Network::Options::dest_major).
+    /// Frame-order (false) is the second ablation axis.
+    bool dest_major = true;
   };
 
   SimHarness(const Protocol& proto, Options opts);

@@ -26,9 +26,11 @@ void RpcClient::round_trip(MsgType type, std::vector<std::uint8_t> payload,
   // Fan out through the byte-span path, then recycle the original buffer:
   // the per-message engine makes one pooled copy per server (a memcpy into
   // recycled capacity, not an allocation); the batched engine copies the
-  // bytes straight into each destination's slab.
+  // bytes straight into each destination's slab. cause_ (the reply being
+  // handled, when this round chains off one) routes the fan-out through
+  // the reply-staging buffer under a destination-major drain.
   for (NodeId s : cfg_.server_ids()) {
-    net().send_bytes(id(), s, type, /*key=*/0, rpc, ByteSpan(payload));
+    net().send_bytes(id(), s, type, /*key=*/0, rpc, ByteSpan(payload), cause_);
   }
   pool().release(std::move(payload));
 }

@@ -36,12 +36,23 @@ class RpcClient : public Process {
   RpcClient(NodeId id, Network& net, const ClusterConfig& cfg)
       : Process(id, net), cfg_(cfg) {}
 
-  void on_message(const Frame& m) final { handle_reply(m); }
+  void on_message(const Frame& m) final {
+    cause_ = &m;
+    handle_reply(m);
+    cause_ = nullptr;
+  }
 
   /// Batched delivery: acks from several servers in one tick arrive as one
   /// span; demux to rounds without re-entering the virtual dispatcher.
+  /// Tracks the frame being processed so round chaining (a completion
+  /// callback starting the next round_trip) attributes its fan-out to the
+  /// triggering reply for reply staging.
   void on_deliver_batch(FrameSpan frames) final {
-    for (const Frame& f : frames) handle_reply(f);
+    for (const Frame& f : frames) {
+      cause_ = &f;
+      handle_reply(f);
+    }
+    cause_ = nullptr;
   }
 
   /// Number of round-trips completed by this client (for latency accounting).
@@ -75,6 +86,9 @@ class RpcClient : public Process {
   void handle_reply(const Frame& m);
 
   ClusterConfig cfg_;
+  /// Frame currently being handled (null outside delivery): the cause
+  /// passed to the network so mid-run fan-outs get staged (network.h).
+  const Frame* cause_ = nullptr;
   std::uint64_t next_rpc_ = 1;
   std::uint64_t rounds_done_ = 0;
   /// Outstanding rounds, newest last; closed-loop clients hold at most one,

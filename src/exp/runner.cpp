@@ -158,6 +158,7 @@ TrialResult run_trial(const ExperimentSpec& spec, int spec_index,
   o.table_clients = spec.table_clients || tr.keyspace.multi();
   o.coalesce = spec.coalesce;
   o.tick = spec.tick;
+  o.dest_major = spec.dest_major;
   if (spec.delay) o.delay = spec.delay(cfg);
   SimHarness h(*proto, std::move(o));
   if (plan != nullptr) h.install_fault_plan(*plan);

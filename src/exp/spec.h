@@ -87,9 +87,15 @@ struct ExperimentSpec {
   /// Batched delivery (SimHarness::Options::coalesce / tick). Observably
   /// identical to the per-message engine — like table_clients, these are
   /// deliberately NOT part of cell_digest, so flipping them reproduces the
-  /// same harness seeds and bit-identical results.
-  bool coalesce = false;
+  /// same harness seeds and bit-identical results. Batched is the default
+  /// since the destination-major PR; per-message is the registered
+  /// ablation.
+  bool coalesce = true;
   Duration tick = 1;
+  /// Destination-major drain + reply staging (also NOT part of
+  /// cell_digest; frame-order is the second ablation axis — golden tests
+  /// pin digests identical on-vs-off).
+  bool dest_major = true;
 
   /// Also run the O(n^2) exact unique-value-graph checker per trial (the
   /// O(n log n) tag-witness checker always runs).

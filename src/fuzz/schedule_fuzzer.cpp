@@ -45,6 +45,64 @@ CheckResult check_expected(const History& hist, const std::string& expect) {
   return check_tag_witness(hist);
 }
 
+/// FNV-1a over the rendered history plus the conservation buckets: any
+/// reordering that moves an op's value or timestamps, or changes a single
+/// message's fate, moves the digest.
+std::uint64_t trial_digest(const History& hist, const NetworkStats& s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  auto mix_byte = [&h](unsigned char b) { h = (h ^ b) * 1099511628211ULL; };
+  for (const char c : hist.to_string()) {
+    mix_byte(static_cast<unsigned char>(c));
+  }
+  for (const std::uint64_t v :
+       {s.sent, s.delivered, s.held, s.to_crashed, s.from_crashed,
+        s.dropped_unattached}) {
+    for (int i = 0; i < 8; ++i) {
+      mix_byte(static_cast<unsigned char>((v >> (8 * i)) & 0xFF));
+    }
+  }
+  return h;
+}
+
+struct LaneResult {
+  std::uint64_t digest = 0;
+  bool atomic = false;
+};
+
+/// One fuzzed schedule under one engine configuration. Lanes sharing a
+/// trial_seed see the same harness RNG, the same flap plan, and the same
+/// workload draws — the engine is the only variable.
+LaneResult run_parity_lane(const ParityOptions& opts, const Protocol& proto,
+                           std::uint64_t trial_seed, bool crash, bool coalesce,
+                           bool dest_major) {
+  SimHarness::Options o;
+  o.cfg = opts.cfg;
+  o.seed = trial_seed;
+  o.delay = std::make_unique<LogNormalDelay>(3 * kMillisecond, 1.2);
+  o.coalesce = coalesce;
+  o.dest_major = dest_major;
+  o.tick = opts.tick;
+  SimHarness h(proto, std::move(o));
+
+  Rng flap_rng(trial_seed ^ 0x9e3779b97f4a7c15ULL);
+  schedule_link_flaps(h, opts.link_flaps, flap_rng);
+
+  WorkloadOptions w;
+  w.ops_per_writer = opts.ops_per_client;
+  w.ops_per_reader = opts.ops_per_client;
+  w.think_hi = 15 * kMillisecond;
+  if (crash) {
+    w.crash_servers = opts.cfg.t();
+    w.crash_after_ops = opts.ops_per_client;
+  }
+  run_random_workload(h, w);
+
+  LaneResult r;
+  r.digest = trial_digest(h.history(), h.net().stats());
+  r.atomic = check_tag_witness(h.history()).atomic;
+  return r;
+}
+
 }  // namespace
 
 FuzzReport run_schedule_fuzzer(const FuzzOptions& opts) {
@@ -86,6 +144,56 @@ FuzzReport run_schedule_fuzzer(const FuzzOptions& opts) {
       ++report.violations;
       if (report.first_violation.empty()) {
         report.first_violation = res.violation + "\n" + h.history().to_string();
+      }
+    }
+  }
+  return report;
+}
+
+ParityReport run_engine_parity_fuzzer(const ParityOptions& opts) {
+  ParityReport report;
+  Rng master(opts.seed);
+  const Protocol* proto = protocol_by_name(opts.protocol);
+  if (proto == nullptr) {
+    report.first_mismatch = "unknown protocol: " + opts.protocol;
+    return report;
+  }
+  for (int trial = 0; trial < opts.trials; ++trial) {
+    ++report.trials;
+    const std::uint64_t trial_seed = master.next();
+    const bool crash = master.next_bool(opts.crash_probability);
+    if (crash) ++report.crash_trials;
+
+    const LaneResult per_message = run_parity_lane(
+        opts, *proto, trial_seed, crash, /*coalesce=*/false, false);
+    const LaneResult frame_order = run_parity_lane(
+        opts, *proto, trial_seed, crash, /*coalesce=*/true, false);
+    const LaneResult dest_major = run_parity_lane(
+        opts, *proto, trial_seed, crash, /*coalesce=*/true, true);
+
+    auto note = [&report, trial](const std::string& what) {
+      ++report.mismatches;
+      if (report.first_mismatch.empty()) {
+        report.first_mismatch = what + " (trial " + std::to_string(trial) + ")";
+      }
+    };
+    if (per_message.digest == frame_order.digest) {
+      ++report.frame_order_exact;
+    } else {
+      note("per-message vs frame-order digest mismatch");
+    }
+    if (!crash) {
+      if (frame_order.digest == dest_major.digest) {
+        ++report.dest_major_exact;
+      } else {
+        note("frame-order vs dest-major digest mismatch");
+      }
+    } else {
+      if (per_message.atomic == frame_order.atomic &&
+          frame_order.atomic == dest_major.atomic) {
+        ++report.verdict_only;
+      } else {
+        note("checker verdicts diverged across engines on a crash trial");
       }
     }
   }

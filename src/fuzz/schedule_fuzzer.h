@@ -41,4 +41,46 @@ struct FuzzReport {
 
 FuzzReport run_schedule_fuzzer(const FuzzOptions& opts);
 
+/// Engine-parity soak: replays every fuzzed schedule — same harness seed,
+/// same link-flap plan, same workload, optionally an inline mid-run crash —
+/// under three delivery engines and cross-checks them:
+///   A. per-message (coalesce off): the registered ablation;
+///   B. batched, frame-order drain (coalesce on, dest_major off);
+///   C. batched, destination-major drain (coalesce on, dest_major on).
+/// A vs B must be digest-identical on EVERY trial, crashes included (the
+/// frame-order drain re-checks fault state per frame). B vs C must be
+/// digest-identical on crash-free trials; trials whose workload crashes
+/// servers from a completion callback mutate fault state mid-drain (outside
+/// the batch contract), so C may legitimately split runs differently there
+/// and only the checker verdicts are compared.
+struct ParityOptions {
+  std::string protocol = "mw-abd(W2R2)";
+  ClusterConfig cfg{5, 2, 2, 2};
+  int trials = 20;
+  int ops_per_client = 6;
+  double crash_probability = 0.3;
+  int link_flaps = 20;
+  std::uint64_t seed = 1;
+  /// Delivery-time quantum shared by all three lanes (coarse enough that
+  /// multi-frame batches actually form under the fuzzed delays).
+  Duration tick = 10'000;  // 10us in ns
+};
+
+struct ParityReport {
+  int trials = 0;
+  int crash_trials = 0;
+  /// Trials where the per-message and frame-order digests matched
+  /// (must equal trials).
+  int frame_order_exact = 0;
+  /// Crash-free trials where the frame-order and dest-major digests
+  /// matched (must equal trials - crash_trials).
+  int dest_major_exact = 0;
+  /// Crash trials where all three lanes agreed on the checker verdict.
+  int verdict_only = 0;
+  int mismatches = 0;
+  std::string first_mismatch;
+};
+
+ParityReport run_engine_parity_fuzzer(const ParityOptions& opts);
+
 }  // namespace mwreg::fuzz

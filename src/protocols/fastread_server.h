@@ -78,7 +78,10 @@ class FastReadServer final : public ServerBase {
   }
 
   /// Batched delivery: one virtual dispatch per span, then a non-virtual
-  /// per-frame loop through the request switch.
+  /// per-frame loop through the request switch. Every reply (tag acks,
+  /// full snapshots, delta acks) carries its request as the cause frame,
+  /// so under a destination-major drain the run's fan-out is staged and
+  /// lands contiguously at the receivers (network.h reply staging).
   void on_deliver_batch(FrameSpan frames) final {
     for (const Frame& f : frames) handle_request(f);
   }

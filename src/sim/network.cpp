@@ -84,9 +84,18 @@ Time Network::arrival_time(NodeId src, NodeId dst) {
   return at;
 }
 
-void Network::send(Message m) {
+void Network::send(Message m, const Frame* cause) {
   ++stats_.sent;
   stats_.bytes_sent += m.payload.size();
+  if (stage_active_ && cause != nullptr) {
+    // Destination-major drain in progress: defer to the staging buffer
+    // (crash/block checks and the delay draw happen at flush, in canonical
+    // frame order).
+    stage_send(cause->bix, m.src, m.dst, m.type, m.key, m.rpc_id,
+               ByteSpan(m.payload));
+    discard(std::move(m));
+    return;
+  }
   if (crashed(m.src)) {  // a crashed node sends nothing
     ++stats_.from_crashed;
     discard(std::move(m));
@@ -97,9 +106,13 @@ void Network::send(Message m) {
 
 void Network::send_bytes(NodeId src, NodeId dst, MsgType type,
                          std::uint32_t key, std::uint64_t rpc_id,
-                         ByteSpan bytes) {
+                         ByteSpan bytes, const Frame* cause) {
   ++stats_.sent;
   stats_.bytes_sent += bytes.size();
+  if (stage_active_ && cause != nullptr) {
+    stage_send(cause->bix, src, dst, type, key, rpc_id, bytes);
+    return;
+  }
   if (crashed(src)) {
     ++stats_.from_crashed;
     return;
@@ -177,6 +190,16 @@ void Network::deliver_now(Message m, Time sent) {
     ++stats_.held;
     return;
   }
+  Process* p = static_cast<std::size_t>(m.dst) < procs_.size()
+                   ? procs_[static_cast<std::size_t>(m.dst)]
+                   : nullptr;
+  if (p == nullptr) {
+    // Counted explicitly (not as delivered) so the conservation invariant
+    // holds even when traffic targets a node nothing ever attached to.
+    ++stats_.dropped_unattached;
+    discard(std::move(m));
+    return;
+  }
   ++stats_.delivered;
   Frame f;
   f.src = m.src;
@@ -186,11 +209,7 @@ void Network::deliver_now(Message m, Time sent) {
   f.rpc_id = m.rpc_id;
   f.payload = ByteSpan(m.payload);
   if (hook_) hook_(f, sent, sim_.now());
-  Process* p = static_cast<std::size_t>(m.dst) < procs_.size()
-                   ? procs_[static_cast<std::size_t>(m.dst)]
-                   : nullptr;
-  assert(p != nullptr && "message to unattached node");
-  if (p != nullptr) p->on_message(f);
+  p->on_message(f);
   discard(std::move(m));  // recycle the payload storage for the next hop
 }
 
@@ -280,10 +299,25 @@ void Network::fire_batch(std::uint32_t bi, std::uint32_t from) {
     const std::uint8_t* base = b.slab.data();
     for (std::size_t i = 0; i < b.frames.size(); ++i) {
       b.frames[i].payload.ptr = base + b.meta[i].off;
+      b.frames[i].bix = static_cast<std::uint32_t>(i);
     }
     ++coalesce_stats_.batches;
   }
   const auto n = static_cast<std::uint32_t>(b.frames.size());
+  // Destination-major eligibility: a fresh (non-continuation) fire, the
+  // option on, no fault or hook active, and one peek proving no foreign
+  // event orders anywhere inside the tick's frame window — i.e. before the
+  // LAST frame's reserved sequence. If the whole window is ours, no
+  // observer exists for the within-tick dispatch order and the batch can
+  // drain destination-major; otherwise fall through to the exact
+  // frame-order drain below.
+  if (from == 0 && opts_.dest_major && n > 1 && num_crashed_ == 0 &&
+      num_blocked_ == 0 && !hook_ &&
+      !sim_.has_event_before(b.at, b.meta[n - 1].seq)) {
+    fire_batch_dest_major(b);
+    recycle_batch(bi);
+    return;
+  }
   std::uint32_t i = from;
   while (i < n) {
     // Yield whenever an intermediate event — a timer, a fault-plan step, an
@@ -303,7 +337,6 @@ void Network::fire_batch(std::uint32_t bi, std::uint32_t from) {
     Process* p = static_cast<std::size_t>(dst) < procs_.size()
                      ? procs_[static_cast<std::size_t>(dst)]
                      : nullptr;
-    assert(p != nullptr && "message to unattached node");
     if (num_crashed_ == 0 && num_blocked_ == 0 && !hook_) {
       // Fast path: no fault is active, so every frame up to the next
       // destination switch or intermediate event delivers as one run.
@@ -313,11 +346,13 @@ void Network::fire_batch(std::uint32_t bi, std::uint32_t from) {
         ++j;
       }
       const std::uint32_t len = j - i;
-      stats_.delivered += len;
-      coalesce_stats_.frames += len;
-      ++coalesce_stats_.hist[span_bucket(len)];
       if (p != nullptr) {
+        stats_.delivered += len;
+        coalesce_stats_.frames += len;
+        ++coalesce_stats_.hist[span_bucket(len)];
         p->on_deliver_batch(FrameSpan{b.frames.data() + i, len});
+      } else {
+        stats_.dropped_unattached += len;
       }
       i = j;
     } else {
@@ -328,17 +363,180 @@ void Network::fire_batch(std::uint32_t bi, std::uint32_t from) {
         ++stats_.to_crashed;
       } else if (link_blocked(f.src, dst)) {
         hold_copy(f, b.meta[i].sent);
+      } else if (p == nullptr) {
+        ++stats_.dropped_unattached;
       } else {
         ++stats_.delivered;
         ++coalesce_stats_.frames;
         ++coalesce_stats_.hist[0];
         if (hook_) hook_(f, b.meta[i].sent, sim_.now());
-        if (p != nullptr) p->on_deliver_batch(FrameSpan{&f, 1});
+        p->on_deliver_batch(FrameSpan{&f, 1});
       }
       ++i;
     }
   }
   recycle_batch(bi);
+}
+
+void Network::fire_batch_dest_major(Batch& b) {
+  const auto n = static_cast<std::uint32_t>(b.frames.size());
+  ++coalesce_stats_.dest_major;
+  // Group frames by attached Process (not NodeId): the ClientTable is ONE
+  // process attached at every client id, so a tick's entire ack traffic to
+  // all table clients becomes one run. The grouping is stable, so each
+  // process's observed frame order — and every per-(src,dst) FIFO
+  // projection inside it — is the frame-order drain's, verbatim.
+  ++dm_epoch_;
+  dm_groups_.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto d = static_cast<std::size_t>(b.frames[i].dst);
+    if (dm_node_epoch_.size() <= d) {
+      ++dm_grows_;
+      dm_node_epoch_.resize(d + 1, 0);
+      dm_group_of_.resize(d + 1, 0);
+    }
+    if (dm_node_epoch_[d] != dm_epoch_) {
+      dm_node_epoch_[d] = dm_epoch_;
+      Process* p = d < procs_.size() ? procs_[d] : nullptr;
+      // Linear scan: distinct processes per tick are few (servers/routers
+      // plus one table), and repeated destinations hit the epoch table.
+      std::uint32_t g = 0;
+      while (g < dm_groups_.size() && dm_groups_[g].proc != p) ++g;
+      if (g == dm_groups_.size()) {
+        note_growth(dm_groups_, dm_groups_.size() + 1);
+        dm_groups_.push_back(DmGroup{p, 0, 0, 0});
+      }
+      dm_group_of_[d] = g;
+    }
+    ++dm_groups_[dm_group_of_[d]].count;
+  }
+  std::uint32_t off = 0;
+  for (DmGroup& g : dm_groups_) {
+    g.offset = off;
+    g.fill = off;
+    off += g.count;
+  }
+  note_growth(dm_frames_, n);
+  note_growth(dm_sent_, n);
+  dm_frames_.resize(n);
+  dm_sent_.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    DmGroup& g =
+        dm_groups_[dm_group_of_[static_cast<std::size_t>(b.frames[i].dst)]];
+    dm_frames_[g.fill] = b.frames[i];
+    dm_sent_[g.fill] = b.meta[i].sent;
+    ++g.fill;
+  }
+  // Dispatch one maximal run per process with reply staging active:
+  // handler sends carrying a cause frame are deferred and flushed below in
+  // canonical frame order, so their sequence/delay assignment is identical
+  // to the frame-order drain's.
+  stage_active_ = true;
+  for (const DmGroup& g : dm_groups_) {
+    if (g.proc == nullptr) {
+      stats_.dropped_unattached += g.count;
+      continue;
+    }
+    if (num_crashed_ != 0 || num_blocked_ != 0) {
+      // A handler mutated fault state mid-drain (outside the documented
+      // contract). Degrade to per-frame checks for the remaining groups so
+      // no frame reaches a crashed or blocked destination.
+      for (std::uint32_t k = g.offset; k < g.offset + g.count; ++k) {
+        const Frame& f = dm_frames_[k];
+        if (crashed(f.dst)) {
+          ++stats_.to_crashed;
+        } else if (link_blocked(f.src, f.dst)) {
+          hold_copy(f, dm_sent_[k]);
+        } else {
+          ++stats_.delivered;
+          ++coalesce_stats_.frames;
+          ++coalesce_stats_.hist[0];
+          g.proc->on_deliver_batch(FrameSpan{&f, 1});
+        }
+      }
+      continue;
+    }
+    stats_.delivered += g.count;
+    coalesce_stats_.frames += g.count;
+    ++coalesce_stats_.hist[span_bucket(g.count)];
+    g.proc->on_deliver_batch(FrameSpan{dm_frames_.data() + g.offset, g.count});
+  }
+  stage_active_ = false;
+  flush_staged(n);
+}
+
+void Network::stage_send(std::uint32_t bix, NodeId src, NodeId dst,
+                         MsgType type, std::uint32_t key, std::uint64_t rpc_id,
+                         ByteSpan bytes) {
+  StagedSend e;
+  e.bix = bix;
+  e.src = src;
+  e.dst = dst;
+  e.type = type;
+  e.key = key;
+  e.rpc_id = rpc_id;
+  e.off = static_cast<std::uint32_t>(stage_slab_.size());
+  e.len = static_cast<std::uint32_t>(bytes.size());
+  note_growth(stage_slab_, stage_slab_.size() + bytes.size());
+  note_growth(stage_entries_, stage_entries_.size() + 1);
+  if (!bytes.empty()) {
+    stage_slab_.insert(stage_slab_.end(), bytes.begin(), bytes.end());
+  }
+  stage_entries_.push_back(e);
+}
+
+void Network::flush_staged(std::uint32_t frame_count) {
+  if (stage_entries_.empty()) return;
+  coalesce_stats_.staged += stage_entries_.size();
+  // Stable counting sort by originating frame index. Entries were appended
+  // in (group, within-group frame) order; re-keying on bix restores the
+  // exact order the frame-order drain would have emitted these sends in,
+  // which makes sequence reservation and shared-RNG delay draws invariant
+  // under the destination-major reorder.
+  note_growth(stage_counts_, static_cast<std::size_t>(frame_count) + 1);
+  stage_counts_.assign(static_cast<std::size_t>(frame_count) + 1, 0);
+  for (const StagedSend& e : stage_entries_) ++stage_counts_[e.bix];
+  std::uint32_t sum = 0;
+  for (std::uint32_t& c : stage_counts_) {
+    const std::uint32_t v = c;
+    c = sum;
+    sum += v;
+  }
+  note_growth(stage_order_, stage_entries_.size());
+  stage_order_.resize(stage_entries_.size());
+  for (std::uint32_t i = 0; i < stage_entries_.size(); ++i) {
+    stage_order_[stage_counts_[stage_entries_[i].bix]++] = i;
+  }
+  for (const std::uint32_t idx : stage_order_) {
+    const StagedSend& e = stage_entries_[idx];
+    // `sent` and bytes were counted at stage time; run the rest of the
+    // send pipeline now, in the same check order (src crash, dst crash,
+    // block, then the delay draw) as an immediate send.
+    if (crashed(e.src)) {
+      ++stats_.from_crashed;
+      continue;
+    }
+    if (crashed(e.dst)) {
+      ++stats_.to_crashed;
+      continue;
+    }
+    const ByteSpan bytes{stage_slab_.data() + e.off, e.len};
+    if (link_blocked(e.src, e.dst)) {
+      Frame f;
+      f.src = e.src;
+      f.dst = e.dst;
+      f.type = e.type;
+      f.key = e.key;
+      f.rpc_id = e.rpc_id;
+      f.payload = bytes;
+      hold_copy(f, sim_.now());
+      continue;
+    }
+    enqueue_frame(e.src, e.dst, e.type, e.key, e.rpc_id, bytes, sim_.now(),
+                  arrival_time(e.src, e.dst));
+  }
+  stage_entries_.clear();
+  stage_slab_.clear();
 }
 
 void Network::crash(NodeId id) {

@@ -32,6 +32,21 @@
 // mid-batch; golden digests match bit-for-bit with coalescing on and off
 // (DESIGN.md section 8).
 //
+// Destination-major drain (Options::dest_major). Frame-order runs end at
+// every destination switch, so interleaved fan-out traffic yields runs of
+// 1-3 frames. When one has_event_before peek against the tick's LAST
+// reserved sequence proves the whole window is foreign-event-free (and no
+// fault or delivery hook is active), the drain instead regroups the tick's
+// frames by attached process — stable, so per-(src,dst) FIFO and each
+// process's observed order are untouched — and dispatches one maximal run
+// per process. Handler-emitted sends with a known cause frame are staged
+// and flushed at batch end in canonical frame order, so sequence
+// reservation and shared-RNG delay draws match the frame-order drain
+// exactly; the only residual reorder is send-vs-timer sequence assignment
+// within one drain, observable solely at exact-ns time ties (DESIGN.md
+// section 9). Whenever the window check fails the batch takes the exact
+// frame-order drain above, unchanged.
+//
 // Contract: crash/block/unblock transitions originate from simulator events
 // (fault plans, scheduled test steps) or between runs — not from inside a
 // message handler. The drain re-checks fault state at every yield boundary
@@ -61,11 +76,13 @@ class Process;
 /// Message accounting. At quiescence (no scheduled deliveries in flight)
 /// the counters satisfy the invariant
 ///   sent == delivered + held + to_crashed + from_crashed
-/// — every sent message is either delivered, parked on a blocked link, or
-/// dropped at exactly one of the two crash checks. tests/sim_test.cpp
+///           + dropped_unattached
+/// — every sent message is either delivered, parked on a blocked link,
+/// dropped at exactly one of the two crash checks, or dropped because no
+/// process was ever attached at its destination. tests/sim_test.cpp
 /// asserts this across fault scenarios, with coalescing on and off (an open
 /// batch always has a delivery event pending, so at quiescence every frame
-/// has drained into exactly one of the four buckets).
+/// has drained into exactly one of the five buckets).
 struct NetworkStats {
   std::uint64_t sent = 0;
   std::uint64_t bytes_sent = 0;  ///< payload bytes across all sent messages
@@ -73,6 +90,7 @@ struct NetworkStats {
   std::uint64_t held = 0;         ///< currently parked on blocked links
   std::uint64_t to_crashed = 0;   ///< dropped because dst crashed
   std::uint64_t from_crashed = 0; ///< dropped because src had crashed
+  std::uint64_t dropped_unattached = 0;  ///< dst has no attached process
 };
 
 /// Coalescing observables (all zero while Options::coalesce is false).
@@ -83,10 +101,25 @@ struct CoalesceStats {
   std::uint64_t continuations = 0;  ///< mid-batch yields rescheduled
   std::uint64_t enqueued = 0;       ///< frames appended into batches
   std::uint64_t frames = 0;         ///< frames delivered through batches
+  /// Batches drained destination-major (the window check passed); the
+  /// remainder fell back to the exact frame-order drain.
+  std::uint64_t dest_major = 0;
+  /// Handler-emitted sends deferred by the reply-staging buffer and
+  /// flushed in canonical frame order at batch end.
+  std::uint64_t staged = 0;
   /// Dispatched span sizes, log2-bucketed: hist[b] counts spans of size
   /// [2^b, 2^(b+1)). Buckets past the last saturate into it.
   static constexpr int kHistBuckets = 16;
   std::uint64_t hist[kHistBuckets] = {};
+
+  /// Mean dispatched-run length (frames per dispatched span); the
+  /// run-length target the bench trend gate tracks.
+  [[nodiscard]] double mean_run_len() const {
+    std::uint64_t runs = 0;
+    for (const std::uint64_t h : hist) runs += h;
+    return runs == 0 ? 0.0 : static_cast<double>(frames) /
+                                 static_cast<double>(runs);
+  }
 };
 
 class Network {
@@ -102,6 +135,16 @@ class Network {
     /// multiple of tick, in both engines, so coalescing on/off stays
     /// bit-identical at any tick. 1 = exact-ns (default; no timing change).
     Duration tick = 1;
+    /// Destination-major drain (coalesce only): when a batch's whole frame
+    /// window is provably free of foreign events (one has_event_before peek
+    /// against the tick's last reserved seq) and no fault or hook is
+    /// active, regroup the tick's frames by attached process — stable
+    /// within each destination — and dispatch one maximal run per process,
+    /// with handler-emitted sends staged and flushed in canonical frame
+    /// order at batch end. Falls back to the exact frame-order drain
+    /// whenever the window check fails. Off = always frame-order (the
+    /// registered ablation).
+    bool dest_major = true;
   };
 
   Network(Simulator& sim, std::unique_ptr<DelayModel> delay, Rng rng,
@@ -133,8 +176,14 @@ class Network {
   /// delivered to `id`. The process must outlive the network run.
   void attach(NodeId id, Process& p);
 
-  /// Send a message. The src/dst fields must be filled in.
-  void send(Message m);
+  /// Send a message. The src/dst fields must be filled in. `cause` is the
+  /// frame whose handler emitted this send, when known (replies, round
+  /// chaining): during a destination-major drain such sends are staged and
+  /// flushed at batch end in canonical frame order — keyed on cause->bix —
+  /// so sequence reservation and delay draws match the frame-order drain
+  /// exactly. Outside a drain (or with cause == nullptr) this is the plain
+  /// immediate send.
+  void send(Message m, const Frame* cause = nullptr);
 
   /// Fan-out entry point: send one message whose payload is copied from
   /// `bytes` (the caller keeps ownership). With coalescing on the bytes go
@@ -142,8 +191,10 @@ class Network {
   /// Message materialization; with it off this acquires a pooled copy,
   /// exactly what broadcast call sites used to do by hand. Empty payloads
   /// skip the pool in both modes (capacity-0 buffers never recycle).
+  /// `cause` as in send().
   void send_bytes(NodeId src, NodeId dst, MsgType type, std::uint32_t key,
-                  std::uint64_t rpc_id, ByteSpan bytes);
+                  std::uint64_t rpc_id, ByteSpan bytes,
+                  const Frame* cause = nullptr);
 
   /// Crash a node: all future and in-flight messages to it are dropped, and
   /// nothing it sends afterwards is accepted.
@@ -188,6 +239,14 @@ class Network {
   /// Batches ever created (live + free). Ratchets during warmup, then must
   /// stay flat — the coalescing analogue of Simulator::allocations().
   [[nodiscard]] std::size_t batch_pool_size() const { return batches_.size(); }
+  /// Capacity-growth events across the destination-major scratch and the
+  /// reply-staging buffers (grouping tables, gathered frame array, staging
+  /// slab/entries/order). Ratchets during warmup, then must stay flat —
+  /// pinned by the allocation regression tests.
+  [[nodiscard]] std::uint64_t dest_major_grows() const { return dm_grows_; }
+  /// True while a destination-major drain is dispatching runs (sends with a
+  /// cause frame are being staged).
+  [[nodiscard]] bool staging_active() const { return stage_active_; }
 
  private:
   /// One coalesced delivery-tick batch: every frame arriving at time `at`,
@@ -238,8 +297,30 @@ class Network {
                      std::uint64_t rpc_id, ByteSpan bytes, Time sent, Time at);
   /// Seal (fix payload pointers, leave the open table) then drain frames
   /// [from, n) as maximal same-destination runs, yielding to the heap
-  /// whenever an earlier event is due.
+  /// whenever an earlier event is due. When the whole window is provably
+  /// foreign-event-free (and Options::dest_major allows), delegates to the
+  /// destination-major drain instead.
   void fire_batch(std::uint32_t bi, std::uint32_t from);
+  /// Destination-major drain: regroup the batch's frames by attached
+  /// process (stable within each destination), dispatch one maximal run per
+  /// process with reply staging active, then flush staged sends in
+  /// canonical frame order. Only called when the window check proved no
+  /// foreign event can observe the reorder.
+  void fire_batch_dest_major(Batch& b);
+  /// Append one handler-emitted send to the staging buffer (send /
+  /// send_bytes route here while stage_active_ and a cause frame is known).
+  void stage_send(std::uint32_t bix, NodeId src, NodeId dst, MsgType type,
+                  std::uint32_t key, std::uint64_t rpc_id, ByteSpan bytes);
+  /// Flush the staging buffer: counting-sort entries by originating frame
+  /// index (stable), then run each through the normal post-send pipeline —
+  /// crash check, block check, delay draw, enqueue — in exactly the order
+  /// the frame-order drain would have emitted them.
+  void flush_staged(std::uint32_t frame_count);
+  /// Bump dm_grows_ if appending/assigning `needed` elements would grow `v`.
+  template <typename V>
+  void note_growth(const V& v, std::size_t needed) {
+    if (v.capacity() < needed) ++dm_grows_;
+  }
 
   Simulator& sim_;
   std::unique_ptr<DelayModel> delay_;
@@ -267,6 +348,43 @@ class Network {
   std::vector<std::unique_ptr<Batch>> batches_;
   std::vector<std::uint32_t> free_batches_;
   std::vector<OpenEntry> open_tab_;  ///< power-of-two, direct-mapped
+
+  // ---- destination-major drain scratch (all capacities ratchet) ----
+  /// One run per distinct attached process in the batch, in first-appearance
+  /// order. `offset`/`fill` index into dm_frames_ during the scatter.
+  struct DmGroup {
+    Process* proc = nullptr;
+    std::uint32_t count = 0;
+    std::uint32_t offset = 0;
+    std::uint32_t fill = 0;
+  };
+  std::vector<DmGroup> dm_groups_;
+  /// Dense NodeId -> group index, O(1)-reset via the epoch stamp.
+  std::vector<std::uint64_t> dm_node_epoch_;
+  std::vector<std::uint32_t> dm_group_of_;
+  std::uint64_t dm_epoch_ = 0;
+  /// Frames gathered group-contiguous (copies; the batch slab still owns the
+  /// payload bytes) plus their original send times for the degradation path.
+  std::vector<Frame> dm_frames_;
+  std::vector<Time> dm_sent_;
+  std::uint64_t dm_grows_ = 0;
+
+  // ---- reply staging (active only inside a destination-major drain) ----
+  struct StagedSend {
+    std::uint32_t bix = 0;  ///< originating frame's batch index
+    NodeId src = kNoNode;
+    NodeId dst = kNoNode;
+    MsgType type = 0;
+    std::uint32_t key = 0;
+    std::uint64_t rpc_id = 0;
+    std::uint32_t off = 0;  ///< payload offset into stage_slab_
+    std::uint32_t len = 0;
+  };
+  bool stage_active_ = false;
+  std::vector<StagedSend> stage_entries_;
+  std::vector<std::uint8_t> stage_slab_;
+  std::vector<std::uint32_t> stage_counts_;  ///< counting-sort workspace
+  std::vector<std::uint32_t> stage_order_;   ///< canonical flush order
 };
 
 /// A protocol participant: owns a node id and reacts to delivered messages.
@@ -283,10 +401,15 @@ class Process {
   /// only for the duration of the call.
   virtual void on_message(const Frame& m) = 0;
 
-  /// Handle a coalesced run of same-destination frames (batched engine).
-  /// The default replays on_message per frame; servers and client tables
-  /// override it to hoist per-batch work (demux, virtual dispatch) out of
-  /// the per-frame loop. Frames arrive in exact global delivery order.
+  /// Handle a coalesced run of frames addressed to this process (batched
+  /// engine). The default replays on_message per frame; servers and client
+  /// tables override it to hoist per-batch work (demux, virtual dispatch)
+  /// out of the per-frame loop. Frames arrive in this process's observed
+  /// delivery order; a process attached at several node ids (the
+  /// ClientTable) may receive a mixed-destination run under the
+  /// destination-major drain — each per-destination subsequence is still in
+  /// exact global order, and single-id processes always see pure
+  /// same-destination runs.
   virtual void on_deliver_batch(FrameSpan frames) {
     for (const Frame& f : frames) on_message(f);
   }
@@ -309,6 +432,22 @@ class Process {
     m.rpc_id = rpc_id;
     m.payload = std::move(payload);
     net_.send(std::move(m));
+  }
+
+  /// Cause-carrying send: `cause` is the delivered frame this send is a
+  /// direct reaction to (a server replying to a request, a client chaining
+  /// rounds off a reply). Under a destination-major drain the network
+  /// stages such sends and flushes them in canonical frame order, keeping
+  /// sequence/delay assignment identical to the frame-order drain.
+  void send_from(const Frame& cause, NodeId dst, MsgType type,
+                 std::uint64_t rpc_id, std::vector<std::uint8_t> payload) {
+    Message m;
+    m.src = id_;
+    m.dst = dst;
+    m.type = type;
+    m.rpc_id = rpc_id;
+    m.payload = std::move(payload);
+    net_.send(std::move(m), &cause);
   }
 
  private:

@@ -73,6 +73,41 @@ TEST(Fuzzer, ReportsAccounting) {
   EXPECT_EQ(r.passed + r.violations, r.trials);
 }
 
+TEST(Fuzzer, EngineParityAcrossFuzzedSchedules) {
+  // Every fuzzed schedule replayed under all three delivery engines:
+  // per-message vs frame-order must be digest-identical on every trial
+  // (inline crashes included); frame-order vs dest-major must be
+  // digest-identical on crash-free trials and verdict-identical on the
+  // rest.
+  ParityOptions o;
+  o.protocol = "mw-abd(W2R2)";
+  o.cfg = ClusterConfig{5, 2, 2, 2};
+  o.trials = 25;
+  o.seed = 31;
+  const ParityReport r = run_engine_parity_fuzzer(o);
+  EXPECT_EQ(r.mismatches, 0) << r.first_mismatch;
+  EXPECT_EQ(r.frame_order_exact, r.trials);
+  EXPECT_EQ(r.dest_major_exact, r.trials - r.crash_trials);
+  EXPECT_EQ(r.verdict_only, r.crash_trials);
+  EXPECT_GT(r.crash_trials, 0) << "seed produced no crash trials; the "
+                                  "contract-violation lane went unsoaked";
+}
+
+TEST(Fuzzer, EngineParityHoldsForFastReadUnderCrashHeavySchedules) {
+  // The fast-read protocol exercises the largest server fan-outs (and so
+  // the reply-staging path hardest); force a crash on every trial.
+  ParityOptions o;
+  o.protocol = "fast-read-mw(W2R1)";
+  o.cfg = ClusterConfig{7, 2, 3, 1};
+  o.trials = 15;
+  o.crash_probability = 1.0;
+  o.seed = 37;
+  const ParityReport r = run_engine_parity_fuzzer(o);
+  EXPECT_EQ(r.mismatches, 0) << r.first_mismatch;
+  EXPECT_EQ(r.frame_order_exact, r.trials);
+  EXPECT_EQ(r.verdict_only, r.crash_trials);
+}
+
 TEST(Fuzzer, UnknownProtocolReported) {
   FuzzOptions o;
   o.protocol = "no-such-protocol";

@@ -130,6 +130,42 @@ TEST(GoldenDeterminism, CoalescingAndTickAreEngineAndThreadInvariant) {
   EXPECT_EQ(base, digest_results(pooled.run(coalesced)));
 }
 
+TEST(GoldenDeterminism, PerMessageAblationPreservesTheGoldenDigest) {
+  // The batched engine is the spec default since the destination-major PR;
+  // the per-message ablation must still reproduce the recorded digest.
+  ExperimentSpec spec = golden_spec();
+  spec.coalesce = false;
+  Runner serial(Runner::Options{1});
+  EXPECT_EQ(digest_results(serial.run(spec)), kGoldenBatchDigest);
+}
+
+TEST(GoldenDeterminism, DestMajorOnVsOffIsDigestAndThreadInvariant) {
+  // Destination-major regrouping + reply staging must be observably inert.
+  // With the golden fault plans included, the exact-ns-tick digests are
+  // pinned to the recorded constant with the drain on and off, at 1 and 4
+  // runner threads...
+  ExperimentSpec on = golden_spec();  // dest_major defaults on
+  ExperimentSpec off = golden_spec();
+  off.dest_major = false;
+  Runner serial(Runner::Options{1});
+  Runner pooled(Runner::Options{4});
+  EXPECT_EQ(digest_results(serial.run(on)), kGoldenBatchDigest);
+  EXPECT_EQ(digest_results(serial.run(off)), kGoldenBatchDigest);
+  EXPECT_EQ(digest_results(pooled.run(on)), kGoldenBatchDigest);
+  EXPECT_EQ(digest_results(pooled.run(off)), kGoldenBatchDigest);
+  // ...and at a coarse tick — where multi-frame batches actually form and
+  // the dest-major drain really engages — there is no recorded constant,
+  // but on-vs-off and 1-vs-4 threads must agree on one digest.
+  ExperimentSpec coarse_on = golden_spec();
+  coarse_on.tick = 10 * kMicrosecond;
+  ExperimentSpec coarse_off = coarse_on;
+  coarse_off.dest_major = false;
+  const std::uint64_t base = digest_results(serial.run(coarse_on));
+  EXPECT_EQ(base, digest_results(serial.run(coarse_off)));
+  EXPECT_EQ(base, digest_results(pooled.run(coarse_on)));
+  EXPECT_EQ(base, digest_results(pooled.run(coarse_off)));
+}
+
 TEST(GoldenDeterminism, FaultFreeCellDigestsUnchanged) {
   EXPECT_EQ(cell_digest("mw-abd(W2R2)", ClusterConfig{5, 2, 1, 1}),
             kGoldenCellDigestMwAbd521);
