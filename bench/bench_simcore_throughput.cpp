@@ -4,7 +4,7 @@
 //
 // Next to the plain-text report this bench writes BENCH_simcore.json, the
 // artifact of the perf trajectory that scripts/bench_trend.py gates CI on.
-// Schema (schema_version 5):
+// Schema (schema_version 6):
 //
 //   {
 //     "bench": "simcore_throughput",
@@ -71,6 +71,26 @@
 //        "steady_engine_allocs": <uint>,             // post-warmup deltas;
 //        "steady_pool_misses": <uint>}               //   0 = allocation-free
 //     ],
+//     "checked_soak": {                 // schema v6: the 10^6-op dest-major
+//       "workload": "million_client_checked",  // grid point re-run with a
+//       "protocol": "mw-abd(W2R2)",     //   StreamingTagWitness live on
+//       "keyspace": <s>,                //   every key history and prefix
+//       "clients": <int>,               //   retirement on
+//       "ops_per_client": <int>,
+//       "ops_checked": <uint>,          // completions the checkers judged
+//       "verdict_atomic": <bool>,       // must be true (trend-gated)
+//       "peak_window": <uint>,          // max per-key window occupancy —
+//                                       //   concurrency-bounded, trend-gated
+//       "peak_pending": <uint>,         // max in-flight ops tracked
+//       "retired_tags": <uint>,         // window entries GC'd by watermark
+//       "history_live": <uint>,         // recorder entries left after
+//                                       //   prefix retirement
+//       "events": <uint>, "wall_ms": <f>,
+//       "events_per_sec": <f>,          // trend-gated ratio vs baseline
+//       "checker_ns_per_op": <f>,       // (checked - unchecked twin) wall
+//       "steady_engine_allocs": <uint>, // post-warmup deltas;
+//       "steady_pool_misses": <uint>    //   0 = allocation-free, gated
+//     },
 //     "valuevector": [                  // long-horizon GC rows (schema in
 //       ...                            //   bench/valuevector_rows.h):
 //     ]                                //   bytes-on-wire + windowed
@@ -91,7 +111,14 @@
 // destination-major drain's headline: dispatched-run length and throughput
 // on a W2R2 table fan-out, frame-order vs dest-major twins), a
 // "dest_major" flag + frame-order twin rows to million_client, and
-// "mean_run_len" to coalesced rows. Compare runs by diffing events_per_sec
+// "mean_run_len" to coalesced rows. Schema v6 adds the "checked_soak"
+// section: the 10^6-op dest-major grid point with the streaming tag-witness
+// checker subscribed to every key history and settled-prefix retirement on,
+// reporting the checker's overhead (checker_ns_per_op vs the unchecked
+// twin) and its memory high-water marks (peak_window stays bounded by the
+// concurrency window, not the horizon). Latency columns are deliberately
+// absent there — retired records are gone, so the live suffix would bias
+// percentiles. Compare runs by diffing events_per_sec
 // per row and the speedup columns; steady_* columns must stay 0 — or let
 // scripts/bench_trend.py do it against bench/baselines/.
 #include <benchmark/benchmark.h>
@@ -692,6 +719,103 @@ MillionRow run_million_client(int clients, int ops_per_client,
   return row;
 }
 
+// ---- checked soak: the 10^6-op grid point with the checker live ----
+
+/// The dest-major million-client run re-executed with a StreamingTagWitness
+/// subscribed to every key history and settled-prefix retirement on: one
+/// harness, 64 keys, 10^6 ops, every completion judged as it lands. Proves
+/// the run can be checked live in window-bounded memory and measures what
+/// that costs next to the unchecked twin (the matching million_client row).
+/// No latency columns: retired records are gone, so the live suffix would
+/// bias percentiles.
+struct CheckedSoakRow {
+  int clients = 0;
+  int ops_per_client = 0;
+  std::string protocol;
+  std::string keyspace;
+  std::uint64_t ops_checked = 0;  ///< completions judged, summed over keys
+  bool verdict_atomic = false;
+  std::uint64_t peak_window = 0;   ///< worst per-key window occupancy
+  std::uint64_t peak_pending = 0;  ///< worst per-key in-flight count
+  std::uint64_t retired_tags = 0;  ///< window entries GC'd by the watermark
+  std::uint64_t history_live = 0;  ///< recorder entries left after retirement
+  std::uint64_t events = 0;
+  double wall_ms = 0;
+  double unchecked_wall_ms = 0;  ///< the twin row's wall, for the overhead
+  std::uint64_t steady_engine_allocs = 0;
+  std::uint64_t steady_pool_misses = 0;
+
+  [[nodiscard]] double events_per_sec() const {
+    return wall_ms > 0 ? static_cast<double>(events) / (wall_ms / 1e3) : 0;
+  }
+  [[nodiscard]] double checker_ns_per_op() const {
+    if (ops_checked == 0) return 0;
+    // Wall jitter can make the checked run marginally faster; clamp so the
+    // reported overhead is never negative.
+    const double delta_ms = std::max(0.0, wall_ms - unchecked_wall_ms);
+    return delta_ms * 1e6 / static_cast<double>(ops_checked);
+  }
+};
+
+CheckedSoakRow run_checked_soak(int clients, int ops_per_client,
+                                double unchecked_wall_ms) {
+  const Protocol* p = protocol_by_name("mw-abd(W2R2)");
+  SimHarness::Options o;
+  o.cfg = ClusterConfig{5, clients / 2, clients - clients / 2, 1};
+  o.keyspace = KeyspaceConfig{64, 8, 0.99};
+  o.seed = 42;
+  o.delay = std::make_unique<UniformDelay>(kMillisecond, 10 * kMillisecond);
+  o.coalesce = true;
+  o.tick = 10 * kMicrosecond;
+  o.dest_major = true;
+  o.streaming_check = true;
+  o.retire_history = true;
+  SimHarness h(*p, std::move(o));
+
+  CheckedSoakRow row;
+  row.clients = clients;
+  row.ops_per_client = ops_per_client;
+  row.protocol = "mw-abd(W2R2)";
+  row.keyspace = h.keyspace().to_string();
+  row.unchecked_wall_ms = unchecked_wall_ms;
+
+  WorkloadOptions w;
+  w.ops_per_writer = ops_per_client;
+  w.ops_per_reader = ops_per_client;
+  const auto t0 = std::chrono::steady_clock::now();
+  run_keyspace_workload(h, w);
+  row.wall_ms = seconds_since(t0) * 1e3;
+  const CoalesceStats& cs = h.net().coalesce_stats();
+  row.events = h.sim().executed() - cs.batches - cs.continuations + cs.enqueued;
+
+  // Steady-state probe (same contract as the unchecked rows): the checker
+  // and the retirement path must not disturb the engine's allocation-free
+  // steady state.
+  const std::uint64_t engine_allocs = h.sim().allocations();
+  const std::uint64_t pool_misses = h.net().pool().stats().misses;
+  WorkloadOptions probe;
+  probe.ops_per_writer = 1;
+  probe.ops_per_reader = 1;
+  run_keyspace_workload(h, probe);
+  row.steady_engine_allocs = h.sim().allocations() - engine_allocs;
+  row.steady_pool_misses = h.net().pool().stats().misses - pool_misses;
+
+  row.verdict_atomic = true;
+  for (int k = 0; k < h.num_keys(); ++k) {
+    StreamingTagWitness* sc = h.stream_checker(k);
+    if (!sc->finish().atomic) row.verdict_atomic = false;
+    const StreamingStats& st = sc->stats();
+    row.ops_checked += st.completions;
+    row.peak_window = std::max<std::uint64_t>(row.peak_window, st.peak_window);
+    row.peak_pending =
+        std::max<std::uint64_t>(row.peak_pending, st.peak_pending);
+    row.retired_tags += st.retired_tags;
+    row.history_live +=
+        h.key_history(k).size() - h.key_history(k).retired_count();
+  }
+  return row;
+}
+
 // ---- W2R2 fan-out replay: dispatched-run length under dest-major ----
 
 /// The destination-major drain's headline measurement: one single-register
@@ -876,13 +1000,29 @@ void report() {
         {10, 10, 12, 12, 10, 10, 6, 8});
   }
 
+  // Checked soak: the 10^6-op dest-major row with the streaming checker
+  // live; the unchecked twin is the last million-client row above.
+  const CheckedSoakRow soak =
+      run_checked_soak(100'000, 10, million.back().wall_ms);
+  header("Checked soak (streaming tag-witness live, prefix retirement on)");
+  row({"ops", "events/s", "ns/op", "window", "pending", "retired", "live",
+       "verdict"},
+      {10, 12, 8, 8, 8, 10, 8, 10});
+  row({std::to_string(static_cast<long long>(soak.clients) *
+                      soak.ops_per_client),
+       fmt(soak.events_per_sec(), 0), fmt(soak.checker_ns_per_op(), 1),
+       std::to_string(soak.peak_window), std::to_string(soak.peak_pending),
+       std::to_string(soak.retired_tags), std::to_string(soak.history_live),
+       soak.verdict_atomic ? "atomic" : "VIOLATION"},
+      {10, 12, 8, 8, 8, 10, 8, 10});
+
   const std::vector<VvRow> vv_rows = run_valuevector_rows();
   print_valuevector_rows(vv_rows);
 
   JsonWriter j;
   j.begin_object();
   j.key("bench").value("simcore_throughput");
-  j.key("schema_version").value(5);
+  j.key("schema_version").value(6);
   j.key("engine_comparison").begin_object();
   j.key("workload").value("w2r1_replay_uniform_delay");
   j.key("hops").value(cmp.hops);
@@ -968,6 +1108,25 @@ void report() {
     j.end_object();
   }
   j.end_array();
+  j.key("checked_soak").begin_object();
+  j.key("workload").value("million_client_checked");
+  j.key("protocol").value(soak.protocol);
+  j.key("keyspace").value(soak.keyspace);
+  j.key("clients").value(soak.clients);
+  j.key("ops_per_client").value(soak.ops_per_client);
+  j.key("ops_checked").value(soak.ops_checked);
+  j.key("verdict_atomic").value(soak.verdict_atomic);
+  j.key("peak_window").value(soak.peak_window);
+  j.key("peak_pending").value(soak.peak_pending);
+  j.key("retired_tags").value(soak.retired_tags);
+  j.key("history_live").value(soak.history_live);
+  j.key("events").value(soak.events);
+  j.key("wall_ms").value(soak.wall_ms);
+  j.key("events_per_sec").value(soak.events_per_sec());
+  j.key("checker_ns_per_op").value(soak.checker_ns_per_op());
+  j.key("steady_engine_allocs").value(soak.steady_engine_allocs);
+  j.key("steady_pool_misses").value(soak.steady_pool_misses);
+  j.end_object();
   emit_valuevector_json(j, vv_rows);
   j.end_object();
   write_json_artifact("BENCH_simcore.json", j.str());

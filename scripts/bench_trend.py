@@ -29,6 +29,16 @@ W2R2 table fan-out must stay >= 8, and the section itself must not vanish
 once baselined. Run length is deterministic (a property of the schedule,
 not the machine), so it is gated absolutely.
 
+Schema v6 adds the checked_soak section (the 10^6-op run with the
+streaming tag-witness checker live). Its events_per_sec rides the normal
+ratio gate; on top of that the verdict must be atomic, the steady-state
+allocation counters must stay 0, and peak_window — the checker's memory
+high-water mark, deterministic for the seeded schedule — must not exceed
+2x the baselined value (the checker staying window-bounded is the whole
+point of the section). checker_ns_per_op is reported but not gated: it is
+a difference of two wall times and too jittery for a hard threshold;
+rebaseline.py medians it for trend reading instead.
+
 Refreshing the baseline after a deliberate perf change:
     cmake --build build --target refresh-baseline
 then commit bench/baselines/BENCH_simcore.baseline.json with the PR that
@@ -82,6 +92,14 @@ def collect_rows(doc):
                 float(fo[field]),
                 float(fo.get("wall_ms", 100.0)),
             )
+    cs = doc.get("checked_soak")
+    if cs:
+        # Rides the normalized ratio gate like every other long row; the
+        # soak-specific absolute gates live in checked_soak_failures.
+        rows["checked_soak/million_client_checked"] = (
+            float(cs["events_per_sec"]),
+            float(cs.get("wall_ms", 0)),
+        )
     co = doc.get("coalescing")
     if co:
         # The batched-delivery replay has no per-row wall_ms; each number is
@@ -144,6 +162,62 @@ def run_length_failures(doc):
             "(dispatched runs went short)".format(mean, MIN_MEAN_RUN_LEN)
         ]
     return []
+
+
+PEAK_WINDOW_HEADROOM = 2.0
+
+
+def checked_soak_failures(artifact, baseline):
+    """Schema v6 absolute gates on the checked_soak section: the live
+    verdict must be atomic, the checker must stay allocation-free in steady
+    state, and its memory high-water mark (peak_window, deterministic for
+    the seeded schedule) must not outgrow the baseline by more than
+    PEAK_WINDOW_HEADROOM."""
+    cs = artifact.get("checked_soak")
+    if not cs:
+        return []
+    bad = []
+    if not cs.get("verdict_atomic", False):
+        bad.append(
+            "checked_soak: streaming checker reported a violation on the "
+            "soak run"
+        )
+    steady = int(cs.get("steady_engine_allocs", 0)) + int(
+        cs.get("steady_pool_misses", 0)
+    )
+    if steady != 0:
+        bad.append(
+            "checked_soak: steady-state allocations = {}".format(steady)
+        )
+    base_cs = baseline.get("checked_soak")
+    if base_cs:
+        peak = int(cs.get("peak_window", 0))
+        base_peak = int(base_cs.get("peak_window", 0))
+        if base_peak > 0 and peak > base_peak * PEAK_WINDOW_HEADROOM:
+            bad.append(
+                "checked_soak: peak_window {} > {:g}x baseline {} "
+                "(checker memory no longer window-bounded?)".format(
+                    peak, PEAK_WINDOW_HEADROOM, base_peak
+                )
+            )
+    return bad
+
+
+def checked_soak_lines(doc):
+    cs = doc.get("checked_soak")
+    if not cs:
+        return []
+    return [
+        "checked_soak: {} ops checked, verdict {}, peak window {} "
+        "(pending {}), {} tags retired, {:.1f} ns/op checker overhead".format(
+            int(cs.get("ops_checked", 0)),
+            "atomic" if cs.get("verdict_atomic", False) else "VIOLATION",
+            int(cs.get("peak_window", 0)),
+            int(cs.get("peak_pending", 0)),
+            int(cs.get("retired_tags", 0)),
+            float(cs.get("checker_ns_per_op", 0.0)),
+        )
+    ]
 
 
 def fanout_lines(doc):
@@ -265,9 +339,12 @@ def compare(artifact, baseline, max_regression, min_wall_ms=5.0):
 
     lines.extend(coalescing_lines(artifact))
     lines.extend(fanout_lines(artifact))
+    lines.extend(checked_soak_lines(artifact))
     for msg in steady_alloc_failures(artifact):
         failures.append(msg)
     for msg in run_length_failures(artifact):
+        failures.append(msg)
+    for msg in checked_soak_failures(artifact, baseline):
         failures.append(msg)
     return failures, lines
 
@@ -284,6 +361,7 @@ def _doc(
     coalescing=None,
     batched_eps=None,
     fanout=None,
+    soak=None,
 ):
     """Synthetic artifact with the given {(proto, cluster): eps} workloads.
 
@@ -293,7 +371,9 @@ def _doc(
     tuple rendered as the schema v4 coalescing section. `batched_eps`
     populates the v4 engine_comparison batched-engine row. `fanout` is an
     optional (frame_order_eps, dest_major_eps, mean_run_len) tuple rendered
-    as the schema v5 fanout_replay section.
+    as the schema v5 fanout_replay section. `soak` is an optional
+    (eps, verdict_atomic, peak_window, steady) tuple rendered as the schema
+    v6 checked_soak section.
     """
     doc = {
         "bench": "simcore_throughput",
@@ -344,6 +424,27 @@ def _doc(
             "dest_major_ticks": 12_000,
             "staged_replies": 600_000,
             "wall_ms": wall_ms,
+        }
+    if soak is not None:
+        s_eps, s_atomic, s_peak, s_steady = soak
+        doc["checked_soak"] = {
+            "workload": "million_client_checked",
+            "protocol": "mw-abd(W2R2)",
+            "keyspace": "keys=64 shards=8 zipf=0.99",
+            "clients": 100_000,
+            "ops_per_client": 10,
+            "ops_checked": 1_000_000,
+            "verdict_atomic": s_atomic,
+            "peak_window": s_peak,
+            "peak_pending": s_peak * 2,
+            "retired_tags": 450_000,
+            "history_live": 30_000,
+            "events": 40_000_000,
+            "wall_ms": wall_ms,
+            "events_per_sec": s_eps,
+            "checker_ns_per_op": 55.0,
+            "steady_engine_allocs": s_steady,
+            "steady_pool_misses": 0,
         }
     if coalescing is not None:
         per_msg, coalesced, csteady = coalescing
@@ -593,6 +694,51 @@ def self_test():
     ]
     for name, doc, want_fail in fchecks:
         failures, _ = compare(doc, fbase, 0.25)
+        checks.append((name, bool(failures) == want_fail, failures))
+
+    # Schema v6: the checked_soak section rides the ratio gate on its
+    # events_per_sec and carries three absolute gates — verdict, steady
+    # counters, and the peak_window headroom bound.
+    sbase = _doc({("fr", "S=5"): 4e5}, soak=(5e6, True, 1000, 0))
+    schecks = [
+        (
+            "soak-identical",
+            _doc({("fr", "S=5"): 4e5}, soak=(5e6, True, 1000, 0)),
+            False,
+        ),
+        (
+            "soak-30pc-drop",
+            _doc({("fr", "S=5"): 4e5}, soak=(3.5e6, True, 1000, 0)),
+            True,
+        ),
+        (
+            "soak-violation",
+            _doc({("fr", "S=5"): 4e5}, soak=(5e6, False, 1000, 0)),
+            True,
+        ),
+        (
+            # Window growth inside the headroom passes (concurrency shifts
+            # with workload tweaks)...
+            "soak-window-within-headroom",
+            _doc({("fr", "S=5"): 4e5}, soak=(5e6, True, 1800, 0)),
+            False,
+        ),
+        (
+            # ... but a blow-up past 2x the baseline means the checker is no
+            # longer window-bounded.
+            "soak-window-blowup",
+            _doc({("fr", "S=5"): 4e5}, soak=(5e6, True, 5000, 0)),
+            True,
+        ),
+        (
+            "soak-steady-allocs",
+            _doc({("fr", "S=5"): 4e5}, soak=(5e6, True, 1000, 4)),
+            True,
+        ),
+        ("soak-section-vanished", _doc({("fr", "S=5"): 4e5}), True),
+    ]
+    for name, doc, want_fail in schecks:
+        failures, _ = compare(doc, sbase, 0.25)
         checks.append((name, bool(failures) == want_fail, failures))
 
     # The batched cost-model engine row is gated like any other once

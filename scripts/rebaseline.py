@@ -130,6 +130,16 @@ def merge(docs):
             fo_out["dest_major_events_per_sec"]
             / fo_out["frame_order_events_per_sec"]
         )
+
+    # Schema v6 checked_soak: median the wall-clock numbers (throughput and
+    # the noisy checker-overhead difference); verdict, window peaks, and
+    # retirement counters are deterministic and stay verbatim from the
+    # first run.
+    cs_rows = [d.get("checked_soak", {}) for d in docs]
+    cs_out = merged.get("checked_soak", {})
+    for field in ("events_per_sec", "wall_ms", "checker_ns_per_op"):
+        if all(field in c for c in cs_rows):
+            cs_out[field] = statistics.median(float(c[field]) for c in cs_rows)
     return merged
 
 
@@ -181,6 +191,25 @@ def _run(eps, wall, legacy=1e6, pooled=3e6, batched=9e6):
             "dest_major_ticks": 12000,
             "staged_replies": 600000,
             "wall_ms": wall,
+        },
+        "checked_soak": {
+            "workload": "million_client_checked",
+            "protocol": "mw-abd(W2R2)",
+            "keyspace": "keys=64 shards=8 zipf=0.99",
+            "clients": 100000,
+            "ops_per_client": 10,
+            "ops_checked": 1000000,
+            "verdict_atomic": True,
+            "peak_window": 1200,
+            "peak_pending": 2400,
+            "retired_tags": 450000,
+            "history_live": 30000,
+            "events": 40000000,
+            "wall_ms": wall * 3,
+            "events_per_sec": eps * 7,
+            "checker_ns_per_op": wall * 5,
+            "steady_engine_allocs": 0,
+            "steady_pool_misses": 0,
         },
         "million_client": [
             {
@@ -254,6 +283,18 @@ def self_test():
         "fanout-runlen-verbatim",
         m["fanout_replay"]["mean_run_len"] == 11.0
         and m["fanout_replay"]["frames"] == 800000,
+    )
+    check(
+        "soak-medians",
+        m["checked_soak"]["events_per_sec"] == 2100.0
+        and m["checked_soak"]["wall_ms"] == 18.0
+        and m["checked_soak"]["checker_ns_per_op"] == 30.0,
+    )
+    check(
+        "soak-deterministic-verbatim",
+        m["checked_soak"]["verdict_atomic"] is True
+        and m["checked_soak"]["peak_window"] == 1200
+        and m["checked_soak"]["retired_tags"] == 450000,
     )
     try:
         bad = _run(100.0, 10.0)

@@ -72,9 +72,11 @@ FastReadAdversaryResult run_fastread_adversary(int S, int t, int R,
   const CheckResult tw = check_tag_witness(h.history());
   const CheckResult wg = check_wing_gong(h.history());
   res.violation_found = !tw.atomic;
+  res.stream_agrees = check_streaming(h.history()).atomic == tw.atomic;
   res.check_detail = tw.atomic ? wg.violation : tw.violation;
-  // Ground truth and witness checker must agree on this small history.
-  if (tw.atomic != wg.atomic) {
+  // Ground truth and witness checker must agree on this small history (a
+  // refused wing-gong verdict is "no verdict", not agreement material).
+  if (wg.decided() && tw.atomic != wg.atomic) {
     res.check_detail += " [CHECKER DISAGREEMENT: wg=" +
                         std::string(wg.atomic ? "atomic" : "violation") + "]";
     res.violation_found = !wg.atomic;

@@ -35,6 +35,9 @@ struct FastReadAdversaryResult {
   ClusterConfig cfg;
   bool bound_violated = false;   ///< R >= S/t - 2 (the impossible region)
   bool violation_found = false;  ///< checker rejected the produced history
+  /// The streaming tag witness reached the same verdict as the batch one
+  /// (soaked on both sides of the bound by streaming_checker_test).
+  bool stream_agrees = false;
   std::string history_dump;
   std::string check_detail;
   /// Values returned by the "flip" read (step 3) and the "stale" read

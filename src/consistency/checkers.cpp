@@ -1,0 +1,120 @@
+// AtomicityChecker registry and the streaming-replay shim.
+//
+// The batch algorithms live in their own translation units
+// (tag_witness_checker.cpp, wing_gong_checker.cpp, graph_checker.cpp); this
+// file gives each a registered identity so callers enumerate checkers
+// instead of hand-calling entry points.
+#include "consistency/checkers.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "consistency/streaming_checker.h"
+
+namespace mwreg {
+namespace {
+
+class TagWitnessChecker final : public AtomicityChecker {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "tag-witness"; }
+  [[nodiscard]] CheckResult check(const History& h) const override {
+    return check_tag_witness(h);
+  }
+};
+
+class WingGongChecker final : public AtomicityChecker {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "wing-gong"; }
+  [[nodiscard]] CheckResult check(const History& h) const override {
+    return check_wing_gong(h);
+  }
+};
+
+class UniqueValueGraphChecker final : public AtomicityChecker {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "unique-value-graph";
+  }
+  [[nodiscard]] CheckResult check(const History& h) const override {
+    return check_unique_value_graph(h);
+  }
+};
+
+class StreamingTagWitnessChecker final : public AtomicityChecker {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "streaming-tag-witness";
+  }
+  [[nodiscard]] CheckResult check(const History& h) const override {
+    return check_streaming(h);
+  }
+  [[nodiscard]] std::unique_ptr<StreamingFeed> make_streaming() const override {
+    return std::make_unique<StreamingTagWitness>();
+  }
+};
+
+}  // namespace
+
+const std::vector<const AtomicityChecker*>& all_checkers() {
+  static const TagWitnessChecker tag_witness;
+  static const WingGongChecker wing_gong;
+  static const UniqueValueGraphChecker graph;
+  static const StreamingTagWitnessChecker streaming;
+  static const std::vector<const AtomicityChecker*> table = {
+      &tag_witness, &wing_gong, &graph, &streaming};
+  return table;
+}
+
+const AtomicityChecker* checker_by_name(std::string_view name) {
+  for (const AtomicityChecker* c : all_checkers()) {
+    if (c->name() == name) return c;
+  }
+  return nullptr;
+}
+
+CheckResult check_streaming(const History& h) {
+  // Replay the recorded history in event-time order (the order a live feed
+  // would have produced) through a fresh streaming checker. Equal-time
+  // invocations go before responses, exactly like the batch RT sweep; that
+  // replay order can interleave clients' resp==invoke ties in a way the
+  // incremental per-client check would misread, so well-formedness is
+  // verified on the record up front instead.
+  if (!h.well_formed()) {
+    return CheckResult::bad("history is not well-formed");
+  }
+  struct Ev {
+    Time at;
+    bool is_resp;
+    const OpRecord* op;
+  };
+  std::vector<Ev> evs;
+  evs.reserve(h.ops().size() * 2);
+  for (const OpRecord& r : h.ops()) {
+    evs.push_back(Ev{r.invoke, false, &r});
+    if (r.completed()) evs.push_back(Ev{r.resp, true, &r});
+  }
+  std::sort(evs.begin(), evs.end(), [](const Ev& a, const Ev& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.is_resp != b.is_resp) return !a.is_resp;  // invocations first
+    return a.op->id < b.op->id;
+  });
+
+  StreamingTagWitness feed;
+  feed.trust_well_formed();
+  for (const Ev& ev : evs) {
+    if (ev.is_resp) {
+      feed.on_complete(*ev.op);
+    } else {
+      feed.on_invoke(*ev.op);
+      // A pending write whose value was recorded (set_value) surfaces it
+      // right after its invocation, as a live feed would.
+      if (!ev.op->completed() && ev.op->kind == OpKind::kWrite &&
+          !(ev.op->value.tag == kBottomTag)) {
+        feed.on_value(*ev.op);
+      }
+    }
+  }
+  return feed.finish();
+}
+
+}  // namespace mwreg

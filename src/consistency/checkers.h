@@ -1,32 +1,78 @@
 // Atomicity (linearizability of a read/write register) checkers.
 //
-// Three independent algorithms with different cost/strength trade-offs:
+// Four independent algorithms with different cost/strength trade-offs:
 //
-//  1. check_tag_witness  — O(n log n). Uses the protocol's tags as the
-//     linearization witness (Lynch, "Distributed Algorithms", Lemma 13.16
-//     style). Sufficient for atomicity, not necessary: a history can be
-//     atomic even though the tags are not a witness. All protocols in this
-//     repo are designed so their tags *are* witnesses, so this is the
+//  1. tag-witness          — O(n log n) batch. Uses the protocol's tags as
+//     the linearization witness (Lynch, "Distributed Algorithms", Lemma
+//     13.16 style). Sufficient for atomicity, not necessary: a history can
+//     be atomic even though the tags are not a witness. All protocols in
+//     this repo are designed so their tags *are* witnesses, so this is the
 //     checker used on large protocol-generated histories.
 //
-//  2. check_wing_gong    — exponential worst case, memoized. Exhaustive
+//  2. wing-gong            — exponential worst case, memoized. Exhaustive
 //     search over linearizations (Wing & Gong 1993). Exact. Ground truth
-//     for small histories in property tests.
+//     for small histories in property tests. Refuses (CheckResult::refused)
+//     histories larger than its bound.
 //
-//  3. check_unique_value_graph — O(n^2). Exact for histories with unique
-//     write tags (which fixes the reads-from relation), in the spirit of
-//     Gibbons & Korach's "Testing Shared Memories": per-write clusters,
-//     forced precedence edges, cycle detection.
+//  3. unique-value-graph   — O(n^2). Exact for histories with unique write
+//     tags (which fixes the reads-from relation), in the spirit of Gibbons
+//     & Korach's "Testing Shared Memories": per-write clusters, forced
+//     precedence edges, cycle detection.
+//
+//  4. streaming-tag-witness — the incremental form of (1): consumes
+//     operations as they complete via a HistorySink feed, retires settled
+//     prefixes, memory bounded by the concurrency window (DESIGN.md §10).
+//     Verdict-identical to (1) on every history the repo generates.
 //
 // Checkers 2 and 3 agree on every history with unique write tags; checker 1
-// implies both. These relations are enforced by property tests.
+// implies both; checker 4 equals checker 1. These relations are enforced by
+// property tests.
+//
+// Tests, sweeps, and the fuzzer enumerate checkers through the
+// AtomicityChecker registry (all_checkers / checker_by_name) instead of
+// hand-calling entry points; the free functions below remain as thin shims.
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <string_view>
+#include <vector>
 
 #include "consistency/history.h"
 
 namespace mwreg {
+
+/// Incremental checker feed: subscribe it to a History (or drive the hooks
+/// directly), then read the verdict. `result()` is the verdict over events
+/// seen so far (pending ops still in flight); `finish()` additionally rules
+/// on end-of-run conditions (e.g. reads whose write never completed) and is
+/// the verdict to compare against a batch check of the same history.
+class StreamingFeed : public HistorySink {
+ public:
+  [[nodiscard]] virtual CheckResult result() const = 0;
+  virtual CheckResult finish() = 0;
+};
+
+/// A registered atomicity checker: a stable name for reports/CLIs, a batch
+/// entry point, and (when the algorithm supports it) a streaming feed.
+class AtomicityChecker {
+ public:
+  virtual ~AtomicityChecker() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual CheckResult check(const History& h) const = 0;
+  /// nullptr when the algorithm is inherently batch (needs the full history).
+  [[nodiscard]] virtual std::unique_ptr<StreamingFeed> make_streaming() const {
+    return nullptr;
+  }
+};
+
+/// All registered checkers, in documentation order (tag-witness first).
+[[nodiscard]] const std::vector<const AtomicityChecker*>& all_checkers();
+
+/// Lookup by registered name; nullptr when unknown.
+[[nodiscard]] const AtomicityChecker* checker_by_name(std::string_view name);
+
+// ---- free-function shims (source compat; forward to the registry) ---------
 
 /// Tag-witness check. Requires unique completed-write tags. Conditions:
 ///  (RF) every read tag is bottom or the tag of some write, with equal payload;
@@ -36,10 +82,14 @@ CheckResult check_tag_witness(const History& h);
 
 /// Exhaustive linearization search. Pending reads are dropped; pending writes
 /// may or may not take effect. Refuses histories larger than `max_ops`
-/// (returns a violation explaining why) to keep tests bounded.
+/// (CheckResult::refused — distinct from a violation) to keep tests bounded.
 CheckResult check_wing_gong(const History& h, std::size_t max_ops = 24);
 
 /// Cluster/constraint-graph check, exact when completed-write tags are unique.
 CheckResult check_unique_value_graph(const History& h);
+
+/// One-shot streaming tag-witness replay over a recorded history (builds a
+/// StreamingTagWitness, replays events in time order, returns finish()).
+CheckResult check_streaming(const History& h);
 
 }  // namespace mwreg

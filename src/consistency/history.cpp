@@ -9,18 +9,45 @@ namespace mwreg {
 
 OpId History::begin_op(NodeId client, OpKind kind, Time invoke) {
   OpRecord rec;
-  rec.id = static_cast<OpId>(ops_.size());
+  rec.id = static_cast<OpId>(size());
   rec.client = client;
   rec.kind = kind;
   rec.invoke = invoke;
   ops_.push_back(rec);
+  for (HistorySink* s : sinks_) s->on_invoke(rec);
   return rec.id;
 }
 
 void History::end_op(OpId id, Time resp, const TaggedValue& value) {
-  OpRecord& rec = ops_.at(static_cast<std::size_t>(id));
+  OpRecord& rec = ops_.at(static_cast<std::size_t>(id) - base_);
   rec.resp = resp;
   rec.value = value;
+  // Copy before notifying: a sink may reentrantly retire_prefix(), which
+  // erases from ops_ and would leave `rec` dangling.
+  const OpRecord copy = rec;
+  for (HistorySink* s : sinks_) s->on_complete(copy);
+}
+
+void History::set_value(OpId id, const TaggedValue& value) {
+  OpRecord& rec = ops_.at(static_cast<std::size_t>(id) - base_);
+  rec.value = value;
+  const OpRecord copy = rec;
+  for (HistorySink* s : sinks_) s->on_value(copy);
+}
+
+void History::subscribe(HistorySink* sink) { sinks_.push_back(sink); }
+
+void History::unsubscribe(HistorySink* sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+}
+
+void History::retire_prefix(OpId first_live) {
+  const auto target = static_cast<std::size_t>(first_live);
+  if (target <= base_) return;
+  const std::size_t drop = std::min(target - base_, ops_.size());
+  ops_.erase(ops_.begin(), ops_.begin() + static_cast<std::ptrdiff_t>(drop));
+  base_ += drop;
+  for (HistorySink* s : sinks_) s->on_retire(static_cast<OpId>(base_));
 }
 
 std::size_t History::completed_count() const {

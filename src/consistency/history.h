@@ -37,7 +37,29 @@ struct OpRecord {
   }
 };
 
+/// Observer interface for `History` recording events. A sink sees each event
+/// as the recorder does (in simulation-time order for harness-driven runs),
+/// which is what lets a streaming checker run without post-hoc scanning.
+/// All hooks default to no-ops so sinks override only what they consume.
+class HistorySink {
+ public:
+  virtual ~HistorySink() = default;
+  /// An operation was invoked (begin_op).
+  virtual void on_invoke(const OpRecord& op) { (void)op; }
+  /// A pending operation's value became known early (set_value).
+  virtual void on_value(const OpRecord& op) { (void)op; }
+  /// An operation responded (end_op); `op` carries the final record.
+  virtual void on_complete(const OpRecord& op) { (void)op; }
+  /// Records with id < first_live were retired from the recorder.
+  virtual void on_retire(OpId first_live) { (void)first_live; }
+};
+
 /// Append-only recorder used by the harness; also the input to all checkers.
+///
+/// Long checked runs may retire provably-settled prefixes (retire_prefix) so
+/// recorder memory tracks the concurrency window rather than the horizon;
+/// op ids stay stable (they index the full logical history) and ops() then
+/// returns only the live suffix.
 class History {
  public:
   /// Record an invocation; the value of a write may be filled in later (the
@@ -51,14 +73,14 @@ class History {
   /// whose tag became known mid-operation before the client crashed). A
   /// pending write with an unrecorded value (bottom tag) is invisible to the
   /// checkers: it cannot be read from.
-  void set_value(OpId id, const TaggedValue& value) {
-    ops_.at(static_cast<std::size_t>(id)).value = value;
-  }
+  void set_value(OpId id, const TaggedValue& value);
 
+  /// Live records (the suffix with id >= retired_count(), in id order).
   [[nodiscard]] const std::vector<OpRecord>& ops() const { return ops_; }
-  [[nodiscard]] std::size_t size() const { return ops_.size(); }
+  /// Logical history length, retired prefix included.
+  [[nodiscard]] std::size_t size() const { return base_ + ops_.size(); }
   [[nodiscard]] const OpRecord& op(OpId id) const {
-    return ops_.at(static_cast<std::size_t>(id));
+    return ops_.at(static_cast<std::size_t>(id) - base_);
   }
 
   [[nodiscard]] std::size_t completed_count() const;
@@ -73,19 +95,50 @@ class History {
 
   [[nodiscard]] std::string to_string() const;
 
-  void clear() { ops_.clear(); }
+  /// Subscribe an observer to future recording events. The sink must outlive
+  /// its subscription; unsubscribe before destroying it.
+  void subscribe(HistorySink* sink);
+  void unsubscribe(HistorySink* sink);
+
+  /// Drop every record with id < first_live. The caller asserts the prefix is
+  /// settled (e.g. via StreamingTagWitness::settled_frontier()); retiring live
+  /// state silently weakens any later batch check. Safe to call from a sink
+  /// hook. No-op unless it advances the retirement point.
+  void retire_prefix(OpId first_live);
+
+  /// Number of records retired so far (== id of the first live record).
+  [[nodiscard]] std::size_t retired_count() const { return base_; }
+
+  void clear() {
+    ops_.clear();
+    base_ = 0;
+  }
 
  private:
-  std::vector<OpRecord> ops_;
+  std::vector<OpRecord> ops_;   ///< live suffix; ops_[i].id == base_ + i
+  std::size_t base_ = 0;        ///< count of retired records
+  std::vector<HistorySink*> sinks_;
 };
 
 /// Result of an atomicity check.
 struct CheckResult {
   bool atomic = true;
-  std::string violation;  ///< human-readable description when !atomic
+  /// The checker declined to decide (e.g. wing-gong past its max_ops bound).
+  /// A refused result carries atomic == true so "no violation found" logic
+  /// keeps working, but it is NOT evidence of atomicity — callers comparing
+  /// verdicts must treat refused as "no verdict".
+  bool refused = false;
+  std::string violation;  ///< human-readable description when !atomic/refused
 
-  static CheckResult ok() { return {true, ""}; }
-  static CheckResult bad(std::string why) { return {false, std::move(why)}; }
+  [[nodiscard]] bool decided() const { return !refused; }
+
+  static CheckResult ok() { return {true, false, ""}; }
+  static CheckResult bad(std::string why) {
+    return {false, false, std::move(why)};
+  }
+  static CheckResult refuse(std::string why) {
+    return {true, true, std::move(why)};
+  }
 };
 
 }  // namespace mwreg

@@ -1,0 +1,333 @@
+#include "consistency/streaming_checker.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace mwreg {
+namespace {
+
+std::string describe_op(OpKind kind, OpId id) {
+  std::ostringstream os;
+  os << (kind == OpKind::kWrite ? "write" : "read") << " op#" << id;
+  return os.str();
+}
+
+}  // namespace
+
+void StreamingTagWitness::fail(std::string why) {
+  if (!verdict_.atomic) return;  // first violation wins; stay sticky
+  verdict_ = CheckResult::bad(std::move(why));
+  // Free the window; every later event is ignored, so only the verdict and
+  // the (frozen) settled frontier remain meaningful.
+  window_.clear();
+  unresolved_.clear();
+}
+
+void StreamingTagWitness::advance_time(Time t) {
+  if (!any_time_) {
+    any_time_ = true;
+    cur_time_ = t;
+    return;
+  }
+  if (t <= cur_time_) return;
+  // Responses buffered at cur_time_ become "finished strictly before" only
+  // now: same-time invocations must not see them (the batch sweep orders
+  // invocations before responses at equal timestamps).
+  if (buf_any_) {
+    if (!max_finished_any_ || buf_tag_ > max_finished_) max_finished_ = buf_tag_;
+    max_finished_any_ = true;
+    buf_any_ = false;
+  }
+  cur_time_ = t;
+}
+
+void StreamingTagWitness::note_finished(const Tag& tag) {
+  if (!buf_any_ || tag > buf_tag_) buf_tag_ = tag;
+  buf_any_ = true;
+}
+
+void StreamingTagWitness::on_invoke(const OpRecord& op) {
+  if (!verdict_.atomic) return;
+  advance_time(op.invoke);
+  if (!trust_well_formed_) {
+    ClientState& cs = clients_[op.client];
+    if (cs.in_flight || (cs.any && op.invoke < cs.last_resp)) {
+      fail("history is not well-formed");
+      return;
+    }
+    cs.in_flight = true;
+  }
+  PendingOp po;
+  po.client = op.client;
+  po.kind = op.kind;
+  po.floor = max_finished_;
+  po.floor_any = max_finished_any_;
+  pending_.emplace(op.id, po);
+  if (po.floor_any) {
+    floors_.insert(po.floor);
+  } else {
+    ++no_floor_pending_;
+  }
+  if (op.id >= next_id_) next_id_ = op.id + 1;
+  ++stats_.ops_seen;
+  stats_.peak_pending = std::max(stats_.peak_pending, pending_.size());
+}
+
+void StreamingTagWitness::on_value(const OpRecord& op) {
+  if (!verdict_.atomic) return;
+  if (op.kind != OpKind::kWrite) return;
+  if (op.value.tag == kBottomTag) return;
+  auto it = pending_.find(op.id);
+  if (it == pending_.end()) return;  // already completed; end_op rules
+  PendingOp& po = it->second;
+  if (po.has_provisional && !(po.provisional == op.value.tag)) {
+    // Retagged while pending: the final record (what a batch check sees)
+    // carries only the last tag, so drop the old provisional entry — unless
+    // a read already resolved against it, which the batch check would flag
+    // as reading a value never written.
+    auto we = window_.find(po.provisional);
+    if (we != window_.end() && we->second.writer_op == op.id) {
+      if (we->second.resolved_reads > 0) {
+        fail("read-from: a read resolved against " +
+             describe_op(OpKind::kWrite, op.id) +
+             " whose value was later retagged");
+        return;
+      }
+      window_.erase(we);
+    }
+  }
+  po.provisional = op.value.tag;
+  po.has_provisional = true;
+  record_write_value(op.id, op.value, /*completed=*/false, po);
+}
+
+void StreamingTagWitness::check_write_rt(const Tag& tag, const WriteEntry& e,
+                                         OpId id) {
+  if (e.floor_any && tag <= e.floor) {
+    fail("real-time: " + describe_op(OpKind::kWrite, id) +
+         " has tag <= an op that finished before its invocation");
+  }
+}
+
+void StreamingTagWitness::resolve_waiting_reads(const Tag& tag, WriteEntry& e) {
+  auto range = unresolved_.equal_range(tag);
+  for (auto it = range.first; it != range.second && verdict_.atomic;) {
+    if (it->second.payload != e.payload) {
+      fail("read-from: " + describe_op(OpKind::kRead, it->second.reader) +
+           " returns a payload differing from the write's");
+      return;
+    }
+    ++e.resolved_reads;
+    if (!e.completed && !e.activated) {
+      // A completed read returned this pending write's tag, so the write
+      // visibly took effect and is subject to the write RT condition at its
+      // own invocation floor.
+      e.activated = true;
+      check_write_rt(tag, e, e.writer_op);
+      if (!verdict_.atomic) return;
+    }
+    it = unresolved_.erase(it);
+  }
+}
+
+void StreamingTagWitness::record_write_value(OpId id, const TaggedValue& v,
+                                             bool completed,
+                                             const PendingOp& po) {
+  auto [it, inserted] = window_.try_emplace(v.tag);
+  WriteEntry& e = it->second;
+  if (inserted) {
+    e.payload = v.payload;
+    e.writer_op = id;
+    e.floor = po.floor;
+    e.floor_any = po.floor_any;
+  } else {
+    if (completed && e.completed) {
+      fail("completed write tags are not unique");
+      return;
+    }
+    if (id >= e.writer_op) {
+      // Batch read-from resolves payloads against the highest write id for
+      // a tag; a conflicting overwrite after reads already resolved means
+      // those reads returned a payload the final map does not carry.
+      if (v.payload != e.payload && e.resolved_reads > 0) {
+        fail("read-from: a read resolved against a payload that a duplicate "
+             "write of the same tag later replaced");
+        return;
+      }
+      e.payload = v.payload;
+      e.writer_op = id;
+      if (!completed) {
+        e.floor = po.floor;
+        e.floor_any = po.floor_any;
+      }
+    }
+  }
+  if (completed) {
+    e.completed = true;
+    e.activated = true;  // RT check below covers it; no activation needed
+    WriteEntry probe;    // the responder's own floor, not the entry's
+    probe.floor = po.floor;
+    probe.floor_any = po.floor_any;
+    check_write_rt(v.tag, probe, id);
+    if (!verdict_.atomic) return;
+  }
+  resolve_waiting_reads(v.tag, e);
+  stats_.peak_window = std::max(stats_.peak_window, window_.size());
+}
+
+void StreamingTagWitness::on_complete(const OpRecord& op) {
+  if (!verdict_.atomic) return;
+  advance_time(op.resp);
+  if (!trust_well_formed_) {
+    ClientState& cs = clients_[op.client];
+    if (op.resp < op.invoke) {
+      fail("history is not well-formed");
+      return;
+    }
+    cs.in_flight = false;
+    cs.last_resp = op.resp;
+    cs.any = true;
+  }
+  PendingOp po;
+  auto pit = pending_.find(op.id);
+  if (pit != pending_.end()) {
+    po = pit->second;
+    if (po.floor_any) {
+      floors_.erase(floors_.find(po.floor));
+    } else {
+      --no_floor_pending_;
+    }
+    pending_.erase(pit);
+  } else {
+    // Directly driven feed without a matching on_invoke; judge against the
+    // current floor (harness-driven feeds never take this path).
+    po.floor = max_finished_;
+    po.floor_any = max_finished_any_;
+  }
+
+  if (op.kind == OpKind::kRead) {
+    if (po.floor_any && op.value.tag < po.floor) {
+      fail("real-time: " + describe_op(OpKind::kRead, op.id) +
+           " returns a tag older than an op that finished before its "
+           "invocation");
+      return;
+    }
+    if (op.value.tag == kBottomTag) {
+      bottom_read_seen_ = true;
+    } else {
+      auto it = window_.find(op.value.tag);
+      if (it != window_.end()) {
+        WriteEntry& e = it->second;
+        if (e.payload != op.value.payload) {
+          fail("read-from: " + describe_op(OpKind::kRead, op.id) +
+               " returns a payload differing from the write's");
+          return;
+        }
+        ++e.resolved_reads;
+        if (!e.completed && !e.activated) {
+          e.activated = true;
+          check_write_rt(op.value.tag, e, e.writer_op);
+          if (!verdict_.atomic) return;
+        }
+      } else {
+        // No write with this tag yet; either one is in flight (resolved
+        // when its value surfaces) or the run ends and finish() flags it.
+        unresolved_.emplace(op.value.tag,
+                            UnresolvedRead{op.value.payload, op.id});
+        stats_.peak_unresolved =
+            std::max(stats_.peak_unresolved, unresolved_.size());
+      }
+    }
+  } else {  // write
+    if (po.has_provisional && !(po.provisional == op.value.tag)) {
+      // The response carries a different tag than the provisional value
+      // recorded mid-operation; the final record is all a batch check would
+      // see, so the provisional entry must go (or, if a read already
+      // resolved against it, that read returned a value never written).
+      auto we = window_.find(po.provisional);
+      if (we != window_.end() && we->second.writer_op == op.id) {
+        if (we->second.resolved_reads > 0) {
+          fail("read-from: a read resolved against " +
+               describe_op(OpKind::kWrite, op.id) +
+               " whose value was later retagged");
+          return;
+        }
+        window_.erase(we);
+      }
+    }
+    if (op.value.tag == kBottomTag) {
+      // A completed bottom-tag write is always behind any finished op.
+      ++bottom_completed_writes_;
+      if (bottom_completed_writes_ > 1) {
+        fail("completed write tags are not unique");
+        return;
+      }
+      if (po.floor_any) {
+        fail("real-time: " + describe_op(OpKind::kWrite, op.id) +
+             " has tag <= an op that finished before its invocation");
+        return;
+      }
+    } else {
+      record_write_value(op.id, op.value, /*completed=*/true, po);
+      if (!verdict_.atomic) return;
+    }
+  }
+
+  note_finished(op.value.tag);
+  ++stats_.completions;
+  try_retire_window();
+  note_settled_progress();
+}
+
+void StreamingTagWitness::try_retire_window() {
+  if (!verdict_.atomic || !max_finished_any_ || no_floor_pending_ > 0) return;
+  Tag watermark = max_finished_;
+  if (!floors_.empty() && *floors_.begin() < watermark) {
+    watermark = *floors_.begin();
+  }
+  auto end = window_.lower_bound(watermark);
+  for (auto it = window_.begin(); it != end;) {
+    ++stats_.retired_tags;
+    it = window_.erase(it);
+  }
+}
+
+OpId StreamingTagWitness::settled_frontier() const {
+  return pending_.empty() ? next_id_ : pending_.begin()->first;
+}
+
+void StreamingTagWitness::note_settled_progress() {
+  if (retire_target_ == nullptr || !verdict_.atomic) return;
+  const OpId frontier = settled_frontier();
+  if (static_cast<std::size_t>(frontier - last_retired_) < retire_stride_) {
+    return;
+  }
+  last_retired_ = frontier;
+  retire_target_->retire_prefix(frontier);
+}
+
+CheckResult StreamingTagWitness::finish() {
+  if (!verdict_.atomic) return verdict_;
+  if (!unresolved_.empty()) {
+    fail("read-from: " +
+         describe_op(OpKind::kRead, unresolved_.begin()->second.reader) +
+         " returns a tag never written");
+    return verdict_;
+  }
+  if (bottom_read_seen_) {
+    // A completed read returned bottom, so a pending write whose value was
+    // never recorded (still bottom) "visibly took effect" under the batch
+    // rule and its bottom tag is <= any finished tag.
+    for (const auto& [id, po] : pending_) {
+      if (po.kind == OpKind::kWrite && !po.has_provisional && po.floor_any) {
+        fail("real-time: " + describe_op(OpKind::kWrite, id) +
+             " has tag <= an op that finished before its invocation");
+        return verdict_;
+      }
+    }
+  }
+  return verdict_;
+}
+
+}  // namespace mwreg

@@ -1,0 +1,162 @@
+// Incremental (streaming) tag-witness atomicity checker.
+//
+// The batch tag-witness check (tag_witness_checker.cpp) buffers the whole
+// history and sweeps it twice; this class consumes the same information as a
+// HistorySink, one event at a time, and keeps only the *concurrency window*:
+//
+//  * per-op state while the op is in flight (its invocation-time tag floor),
+//  * a tag-ordered window of writes that could still be read from,
+//  * reads that returned a tag whose write has not yet surfaced.
+//
+// The key observation (DESIGN.md §10, the same watermark argument as the
+// PR 4 GC proof) is that a write whose tag is below BOTH the max finished
+// tag and every in-flight op's invocation floor can never participate in a
+// future violation without that violation also being caught by a real-time
+// check on the referencing op alone — so its window entry can be retired.
+// Memory is therefore bounded by the number of concurrent operations, not
+// by the horizon, and a 10^6-op run checks in O(window) space.
+//
+// Verdict parity: finish() equals check_tag_witness() on every history the
+// repo generates (enforced by streaming_checker_test across fuzzer
+// schedules, fault scenarios, and adversary-injected violations). The one
+// deliberate conservatism: a pending write whose recorded value is retagged
+// after a read already resolved against it is reported as a violation
+// directly (the batch checker reaches the same verdict via read-from).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "consistency/checkers.h"
+#include "consistency/history.h"
+
+namespace mwreg {
+
+/// Occupancy statistics for the bench / aggregator ("checked soak" columns).
+struct StreamingStats {
+  std::size_t ops_seen = 0;         ///< invocations observed
+  std::size_t completions = 0;      ///< responses observed
+  std::size_t peak_window = 0;      ///< max live write-window entries
+  std::size_t peak_pending = 0;     ///< max in-flight ops tracked
+  std::size_t peak_unresolved = 0;  ///< max reads awaiting their write
+  std::size_t retired_tags = 0;     ///< window entries retired by watermark
+};
+
+/// Streaming tag-witness checker. Subscribe to a History (or drive the
+/// HistorySink hooks directly, in event-time order); read the verdict with
+/// result()/finish(). Optionally retires the settled prefix of a target
+/// History so recorder memory stays bounded too (checked soak runs).
+class StreamingTagWitness final : public StreamingFeed {
+ public:
+  StreamingTagWitness() = default;
+
+  // HistorySink feed. Events must arrive in nondecreasing event-time order
+  // with same-time invocations before responses (exactly the order a
+  // simulation-driven History produces).
+  void on_invoke(const OpRecord& op) override;
+  void on_value(const OpRecord& op) override;
+  void on_complete(const OpRecord& op) override;
+
+  /// Verdict over the events seen so far (in-flight ops not yet judged).
+  [[nodiscard]] CheckResult result() const override { return verdict_; }
+
+  /// End-of-run verdict: additionally rules on reads whose tag never
+  /// surfaced as a write and on pending bottom-tag writes that visibly took
+  /// effect. This is the verdict to compare against check_tag_witness.
+  CheckResult finish() override;
+
+  [[nodiscard]] const StreamingStats& stats() const { return stats_; }
+
+  /// Every op with id below the frontier is completed and fully judged; a
+  /// History prefix up to it may be retired without weakening this checker.
+  [[nodiscard]] OpId settled_frontier() const;
+
+  /// Ask the checker to retire the settled prefix of `h` as the frontier
+  /// advances (every `stride` settled ops). `h` must be the History this
+  /// sink is subscribed to. Retired records are gone for good: batch
+  /// re-checks and latency scans of `h` then see only the live suffix.
+  void retire_history(History* h, std::size_t stride = 1024) {
+    retire_target_ = h;
+    retire_stride_ = stride;
+  }
+
+  /// Shim-replay support: the caller verified History::well_formed() up
+  /// front, so the incremental per-client checks (which would misfire on
+  /// the sorted replay's legal resp==invoke ties) are skipped.
+  void trust_well_formed() { trust_well_formed_ = true; }
+
+ private:
+  struct PendingOp {
+    NodeId client = kNoNode;
+    OpKind kind = OpKind::kWrite;
+    Tag floor;               ///< max finished tag at invocation
+    bool floor_any = false;  ///< false: invoked before any completion
+    Tag provisional;         ///< write value recorded early (set_value)
+    bool has_provisional = false;
+  };
+  struct WriteEntry {
+    std::int64_t payload = 0;
+    OpId writer_op = -1;  ///< highest write id recorded for this tag
+    Tag floor;            ///< the (pending) writer's invocation floor
+    bool floor_any = false;
+    bool completed = false;   ///< some write with this tag responded
+    bool activated = false;   ///< pending-write RT check already ran
+    int resolved_reads = 0;   ///< reads that read-from this entry
+  };
+  struct ClientState {
+    bool in_flight = false;
+    Time last_resp = 0;
+    bool any = false;
+  };
+  struct UnresolvedRead {
+    std::int64_t payload = 0;
+    OpId reader = -1;
+  };
+
+  void fail(std::string why);
+  void advance_time(Time t);
+  /// Fold `tag` of an op responding at the current time into the buffer.
+  void note_finished(const Tag& tag);
+  /// RT check for a (visibly effective) write against its invocation floor.
+  void check_write_rt(const Tag& tag, const WriteEntry& e, OpId id);
+  /// Insert/refresh the window entry for a write value; runs payload
+  /// conflict + duplicate checks and resolves waiting reads.
+  void record_write_value(OpId id, const TaggedValue& v, bool completed,
+                          const PendingOp& po);
+  void resolve_waiting_reads(const Tag& tag, WriteEntry& e);
+  void try_retire_window();
+  void note_settled_progress();
+
+  CheckResult verdict_ = CheckResult::ok();
+  bool trust_well_formed_ = false;
+
+  Time cur_time_ = 0;
+  bool any_time_ = false;
+  Tag max_finished_;  ///< folded responses with time < cur_time_
+  bool max_finished_any_ = false;
+  Tag buf_tag_;  ///< max tag among responses at exactly cur_time_
+  bool buf_any_ = false;
+
+  std::map<OpId, PendingOp> pending_;  ///< ordered: begin() is the frontier
+  std::multiset<Tag> floors_;          ///< floors of pending ops (floor_any)
+  std::size_t no_floor_pending_ = 0;   ///< pending ops with floor_any==false
+  std::unordered_map<NodeId, ClientState> clients_;
+
+  std::map<Tag, WriteEntry> window_;
+  std::multimap<Tag, UnresolvedRead> unresolved_;
+
+  OpId next_id_ = 0;                 ///< one past the highest id invoked
+  bool bottom_read_seen_ = false;    ///< some completed read returned bottom
+  std::size_t bottom_completed_writes_ = 0;
+
+  History* retire_target_ = nullptr;
+  std::size_t retire_stride_ = 1024;
+  OpId last_retired_ = 0;
+
+  StreamingStats stats_;
+};
+
+}  // namespace mwreg

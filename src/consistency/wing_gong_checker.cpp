@@ -97,7 +97,10 @@ CheckResult check_wing_gong(const History& h, std::size_t max_ops) {
     ops.push_back(SearchOp{&r, 0});
   }
   if (ops.size() > max_ops || ops.size() > 24) {
-    return CheckResult::bad("wing-gong: history too large for exhaustive check");
+    // Refusing to decide is NOT a violation: callers comparing verdicts
+    // must treat this as "no verdict" (CheckResult::refused).
+    return CheckResult::refuse(
+        "wing-gong: history too large for exhaustive check");
   }
   for (std::size_t i = 0; i < ops.size(); ++i) {
     ops[i].bit = 1u << i;

@@ -51,6 +51,7 @@ SimHarness::SimHarness(const Protocol& proto, Options opts)
     for (NodeId r : cfg_.reader_ids()) {
       readers_.push_back(proto.make_reader(r, *net_, cfg_));
     }
+    if (opts.streaming_check) setup_streaming(opts.retire_history);
     return;
   }
 
@@ -134,6 +135,21 @@ SimHarness::SimHarness(const Protocol& proto, Options opts)
         }
         if (user_hook_) user_hook_(slot, kind, value);
       });
+  if (opts.streaming_check) setup_streaming(opts.retire_history);
+}
+
+void SimHarness::setup_streaming(bool retire) {
+  // One live checker per key history; the recorder feeds it every
+  // invocation/value/completion in simulation-time order, which is exactly
+  // the event order the streaming algorithm requires.
+  stream_checkers_.reserve(static_cast<std::size_t>(num_keys()));
+  for (int k = 0; k < num_keys(); ++k) {
+    auto checker = std::make_unique<StreamingTagWitness>();
+    History& hist = key_history(k);
+    if (retire) checker->retire_history(&hist);
+    hist.subscribe(checker.get());
+    stream_checkers_.push_back(std::move(checker));
+  }
 }
 
 OpId SimHarness::async_write(int wi, std::int64_t payload,

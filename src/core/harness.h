@@ -24,6 +24,7 @@
 #include "common/cluster.h"
 #include "common/rng.h"
 #include "consistency/history.h"
+#include "consistency/streaming_checker.h"
 #include "core/client_table.h"
 #include "core/keyspace.h"
 #include "core/protocol.h"
@@ -62,6 +63,15 @@ class SimHarness {
     /// window is foreign-event-free (Network::Options::dest_major).
     /// Frame-order (false) is the second ablation axis.
     bool dest_major = true;
+    /// Subscribe a StreamingTagWitness to every key history so atomicity is
+    /// checked live as operations complete (memory bounded by the
+    /// concurrency window). Verdicts via stream_checker(k)->finish().
+    bool streaming_check = false;
+    /// With streaming_check: also retire each history's settled prefix as
+    /// the checker's frontier advances, so recorder memory stays bounded on
+    /// million-op runs. Retired records are gone — batch re-checks and
+    /// latency scans then see only the live suffix.
+    bool retire_history = false;
   };
 
   SimHarness(const Protocol& proto, Options opts);
@@ -123,6 +133,12 @@ class SimHarness {
     return key_histories_.empty() ? history_
                                   : key_histories_[static_cast<std::size_t>(k)];
   }
+  /// Key `k`'s live streaming checker; null unless Options::streaming_check.
+  [[nodiscard]] StreamingTagWitness* stream_checker(int k) {
+    return stream_checkers_.empty()
+               ? nullptr
+               : stream_checkers_[static_cast<std::size_t>(k)].get();
+  }
   /// The table driver; null when running object clients.
   [[nodiscard]] ClientTable* table() { return table_.get(); }
   /// Observe every table-client completion (fires after any per-op done
@@ -132,6 +148,8 @@ class SimHarness {
   }
 
  private:
+  void setup_streaming(bool retire);
+
   ClusterConfig cfg_;
   KeyspaceConfig keyspace_;
   Rng rng_;
@@ -153,6 +171,9 @@ class SimHarness {
   std::vector<std::function<void()>> write_done_;
   std::vector<std::function<void(TaggedValue)>> read_done_;
   ClientTable::CompleteFn user_hook_;
+
+  /// One live checker per key history (empty unless streaming_check).
+  std::vector<std::unique_ptr<StreamingTagWitness>> stream_checkers_;
 };
 
 }  // namespace mwreg

@@ -120,6 +120,9 @@ std::vector<CellStats> aggregate(const std::vector<TrialResult>& results) {
     } else if (cell.first_violation.empty()) {
       cell.first_violation = tr.violation;
     }
+    if (tr.stream_atomic) ++cell.stream_atomic_trials;
+    cell.stream_peak_window =
+        std::max(cell.stream_peak_window, tr.stream_peak_window);
     write_pool.insert(write_pool.end(), tr.write_ms.begin(), tr.write_ms.end());
     read_pool.insert(read_pool.end(), tr.read_ms.begin(), tr.read_ms.end());
     msgs += tr.msgs_sent;
@@ -139,7 +142,7 @@ std::vector<CellStats> aggregate(const std::vector<TrialResult>& results) {
 std::string to_csv(const std::vector<CellStats>& cells) {
   std::string out =
       "spec,protocol,S,W,R,t,keys,shards,zipf,fault_plan,trials,atomic_trials,"
-      "expected_atomic,"
+      "stream_atomic_trials,stream_peak_window,expected_atomic,"
       "write_count,write_mean_ms,write_p50_ms,write_p99_ms,write_max_ms,"
       "read_count,read_mean_ms,read_p50_ms,read_p99_ms,read_max_ms,"
       "msgs_per_op,events_per_trial,"
@@ -152,7 +155,9 @@ std::string to_csv(const std::vector<CellStats>& cells) {
            std::to_string(c.keyspace.shards) + "," + fmt(c.keyspace.zipf_s) +
            "," + csv_escape(c.fault_plan) + "," +
            std::to_string(c.trials) + "," + std::to_string(c.atomic_trials) +
-           "," + (c.expected_atomic ? "1" : "0") + "," +
+           "," + std::to_string(c.stream_atomic_trials) + "," +
+           std::to_string(c.stream_peak_window) + "," +
+           (c.expected_atomic ? "1" : "0") + "," +
            std::to_string(c.write.count) + "," + fmt(c.write.mean_ms) + "," +
            fmt(c.write.p50_ms) + "," + fmt(c.write.p99_ms) + "," +
            fmt(c.write.max_ms) + "," + std::to_string(c.read.count) + "," +
@@ -186,7 +191,10 @@ std::string to_json(const std::vector<CellStats>& cells) {
            fmt(c.keyspace.zipf_s) + "},\"fault_plan\":\"" +
            json_escape(c.fault_plan) + "\",\"trials\":" +
            std::to_string(c.trials) + ",\"atomic_trials\":" +
-           std::to_string(c.atomic_trials) + ",\"expected_atomic\":" +
+           std::to_string(c.atomic_trials) + ",\"stream_atomic_trials\":" +
+           std::to_string(c.stream_atomic_trials) +
+           ",\"stream_peak_window\":" +
+           std::to_string(c.stream_peak_window) + ",\"expected_atomic\":" +
            (c.expected_atomic ? "true" : "false") + ",\"write\":" +
            lat(c.write) + ",\"read\":" + lat(c.read) + ",\"msgs_per_op\":" +
            fmt(c.msgs_per_op) + ",\"events_per_trial\":" +

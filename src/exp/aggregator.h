@@ -30,6 +30,12 @@ struct CellStats {
   bool expected_atomic = false; ///< Protocol::guarantees_atomicity(cfg)
   std::string first_violation;  ///< from the first non-atomic trial, if any
 
+  /// Checked-soak columns (ExperimentSpec::check_streaming). With streaming
+  /// disabled every trial trivially passes, so stream_atomic_trials ==
+  /// trials and the peak window is 0.
+  int stream_atomic_trials = 0;       ///< trials the live checker passed
+  std::size_t stream_peak_window = 0; ///< max window occupancy over trials
+
   LatencyStats write;  ///< pooled across all trials in the cell
   LatencyStats read;
   double msgs_per_op = 0;

@@ -1,5 +1,6 @@
 #include "exp/runner.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <mutex>
@@ -159,6 +160,7 @@ TrialResult run_trial(const ExperimentSpec& spec, int spec_index,
   o.coalesce = spec.coalesce;
   o.tick = spec.tick;
   o.dest_major = spec.dest_major;
+  o.streaming_check = spec.check_streaming;
   if (spec.delay) o.delay = spec.delay(cfg);
   SimHarness h(*proto, std::move(o));
   if (plan != nullptr) h.install_fault_plan(*plan);
@@ -184,6 +186,16 @@ TrialResult run_trial(const ExperimentSpec& spec, int spec_index,
         tr.graph_atomic = false;
         if (tr.violation.empty()) tr.violation = graph.violation;
       }
+    }
+    if (spec.check_streaming) {
+      StreamingTagWitness* sc = h.stream_checker(k);
+      const CheckResult stream = sc->finish();
+      if (!stream.atomic) {
+        tr.stream_atomic = false;
+        if (tr.violation.empty()) tr.violation = stream.violation;
+      }
+      tr.stream_peak_window =
+          std::max(tr.stream_peak_window, sc->stats().peak_window);
     }
     const std::vector<double> w = latency_samples_ms(hist, OpKind::kWrite);
     const std::vector<double> r = latency_samples_ms(hist, OpKind::kRead);

@@ -35,6 +35,10 @@ struct TrialResult {
   bool expected_atomic = false;  ///< Protocol::guarantees_atomicity(cfg)
   bool tag_atomic = false;       ///< check_tag_witness verdict
   bool graph_atomic = true;      ///< check_unique_value_graph (if enabled)
+  bool stream_atomic = true;     ///< live streaming checker (if enabled)
+  /// Peak streaming-checker window occupancy across the trial's keys
+  /// (0 when streaming is disabled).
+  std::size_t stream_peak_window = 0;
   std::string violation;         ///< first checker violation, if any
 
   /// Raw per-operation latencies (ms, virtual time), kept so the
@@ -53,7 +57,9 @@ struct TrialResult {
   double recovery_ms = -1;
 
   /// Atomic as far as the enabled checkers can tell.
-  [[nodiscard]] bool atomic() const { return tag_atomic && graph_atomic; }
+  [[nodiscard]] bool atomic() const {
+    return tag_atomic && graph_atomic && stream_atomic;
+  }
 };
 
 class Runner {

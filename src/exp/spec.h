@@ -101,6 +101,14 @@ struct ExperimentSpec {
   /// O(n log n) tag-witness checker always runs).
   bool check_graph = false;
 
+  /// Also run the streaming tag-witness checker LIVE during every trial
+  /// (SimHarness::Options::streaming_check): atomicity is judged as
+  /// operations complete, in window-bounded memory, and the trial reports
+  /// the peak window occupancy ("checked soak" columns). Like the engine
+  /// knobs above this is deliberately NOT part of cell_digest — a checked
+  /// trial reproduces the unchecked trial's seeds and history bit for bit.
+  bool check_streaming = false;
+
   /// One fault-free plan when fault_plans is empty.
   [[nodiscard]] int plans() const {
     return fault_plans.empty() ? 1 : static_cast<int>(fault_plans.size());

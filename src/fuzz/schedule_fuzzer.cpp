@@ -67,6 +67,7 @@ std::uint64_t trial_digest(const History& hist, const NetworkStats& s) {
 struct LaneResult {
   std::uint64_t digest = 0;
   bool atomic = false;
+  bool stream_atomic = false;  ///< live streaming checker, same history
 };
 
 /// One fuzzed schedule under one engine configuration. Lanes sharing a
@@ -82,6 +83,9 @@ LaneResult run_parity_lane(const ParityOptions& opts, const Protocol& proto,
   o.coalesce = coalesce;
   o.dest_major = dest_major;
   o.tick = opts.tick;
+  // Fourth verdict lane: the streaming checker rides along live (history
+  // retirement stays OFF so trial digests still cover the full history).
+  o.streaming_check = true;
   SimHarness h(proto, std::move(o));
 
   Rng flap_rng(trial_seed ^ 0x9e3779b97f4a7c15ULL);
@@ -100,6 +104,7 @@ LaneResult run_parity_lane(const ParityOptions& opts, const Protocol& proto,
   LaneResult r;
   r.digest = trial_digest(h.history(), h.net().stats());
   r.atomic = check_tag_witness(h.history()).atomic;
+  r.stream_atomic = h.stream_checker(0)->finish().atomic;
   return r;
 }
 
@@ -181,6 +186,13 @@ ParityReport run_engine_parity_fuzzer(const ParityOptions& opts) {
       ++report.frame_order_exact;
     } else {
       note("per-message vs frame-order digest mismatch");
+    }
+    if (per_message.stream_atomic == per_message.atomic &&
+        frame_order.stream_atomic == frame_order.atomic &&
+        dest_major.stream_atomic == dest_major.atomic) {
+      ++report.stream_verdict_parity;
+    } else {
+      note("live streaming verdict diverged from the batch tag witness");
     }
     if (!crash) {
       if (frame_order.digest == dest_major.digest) {

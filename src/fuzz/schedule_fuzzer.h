@@ -53,6 +53,11 @@ FuzzReport run_schedule_fuzzer(const FuzzOptions& opts);
 /// servers from a completion callback mutate fault state mid-drain (outside
 /// the batch contract), so C may legitimately split runs differently there
 /// and only the checker verdicts are compared.
+///
+/// Every lane additionally runs the streaming tag-witness checker LIVE
+/// (subscribed to the lane's history) — the fourth verdict lane: its
+/// finish() verdict must equal the lane's batch check_tag_witness verdict
+/// on every trial, crashed or not (stream_verdict_parity).
 struct ParityOptions {
   std::string protocol = "mw-abd(W2R2)";
   ClusterConfig cfg{5, 2, 2, 2};
@@ -77,6 +82,9 @@ struct ParityReport {
   int dest_major_exact = 0;
   /// Crash trials where all three lanes agreed on the checker verdict.
   int verdict_only = 0;
+  /// Trials where every lane's LIVE streaming verdict equaled that lane's
+  /// batch tag-witness verdict (must equal trials).
+  int stream_verdict_parity = 0;
   int mismatches = 0;
   std::string first_mismatch;
 };

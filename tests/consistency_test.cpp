@@ -44,12 +44,14 @@ void expect_all_ok(const History& h) {
   EXPECT_TRUE(check_wing_gong(h).atomic) << check_wing_gong(h).violation;
   EXPECT_TRUE(check_unique_value_graph(h).atomic)
       << check_unique_value_graph(h).violation;
+  EXPECT_TRUE(check_streaming(h).atomic) << check_streaming(h).violation;
 }
 
 void expect_all_bad(const History& h) {
   EXPECT_FALSE(check_tag_witness(h).atomic);
   EXPECT_FALSE(check_wing_gong(h).atomic);
   EXPECT_FALSE(check_unique_value_graph(h).atomic);
+  EXPECT_FALSE(check_streaming(h).atomic);
 }
 
 TEST(Checkers, EmptyHistoryIsAtomic) {
@@ -275,8 +277,10 @@ TEST_P(CheckerCrossValidation, GraphAgreesWithWingGong) {
     (wg.atomic ? atomic_count : non_atomic_count)++;
 
     // The tag witness may reject atomic histories but must never accept a
-    // non-atomic one.
-    if (check_tag_witness(h).atomic) {
+    // non-atomic one; its streaming form must reach the same verdict.
+    const CheckResult tw = check_tag_witness(h);
+    EXPECT_EQ(check_streaming(h).atomic, tw.atomic) << h.to_string();
+    if (tw.atomic) {
       EXPECT_TRUE(wg.atomic) << h.to_string();
     }
   }

@@ -78,7 +78,8 @@ TEST(Fuzzer, EngineParityAcrossFuzzedSchedules) {
   // per-message vs frame-order must be digest-identical on every trial
   // (inline crashes included); frame-order vs dest-major must be
   // digest-identical on crash-free trials and verdict-identical on the
-  // rest.
+  // rest. The live streaming checker rides along in every lane and must
+  // agree with the batch tag witness on every trial.
   ParityOptions o;
   o.protocol = "mw-abd(W2R2)";
   o.cfg = ClusterConfig{5, 2, 2, 2};
@@ -89,6 +90,7 @@ TEST(Fuzzer, EngineParityAcrossFuzzedSchedules) {
   EXPECT_EQ(r.frame_order_exact, r.trials);
   EXPECT_EQ(r.dest_major_exact, r.trials - r.crash_trials);
   EXPECT_EQ(r.verdict_only, r.crash_trials);
+  EXPECT_EQ(r.stream_verdict_parity, r.trials);
   EXPECT_GT(r.crash_trials, 0) << "seed produced no crash trials; the "
                                   "contract-violation lane went unsoaked";
 }
@@ -106,6 +108,7 @@ TEST(Fuzzer, EngineParityHoldsForFastReadUnderCrashHeavySchedules) {
   EXPECT_EQ(r.mismatches, 0) << r.first_mismatch;
   EXPECT_EQ(r.frame_order_exact, r.trials);
   EXPECT_EQ(r.verdict_only, r.crash_trials);
+  EXPECT_EQ(r.stream_verdict_parity, r.trials);
 }
 
 TEST(Fuzzer, UnknownProtocolReported) {
