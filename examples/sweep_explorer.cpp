@@ -1,28 +1,49 @@
-// sweep_explorer: the experiment-runner subsystem end to end.
+// sweep_explorer: the experiment-runner subsystem end to end, now
+// process-shardable.
 //
-// Two declarative specs, fanned out across all cores:
-//   1. the design-space sweep: 5 protocols x 4 clusters x 100 seeds (2000
-//      simulated histories, every one checked for atomicity) — Table 1 at
+// Three declarative sweeps:
+//   1. design: 6 protocols x 4 clusters x 100 seeds (2400 simulated
+//      histories, every one checked for atomicity) — Table 1 at
 //      statistical scale, written to sweep.csv / sweep.json;
-//   2. the fault sweep: 3 protocols x the whole canned fault-scenario
-//      library x 50 seeds, replayed single-threaded to prove the reports
-//      are thread-count-invariant, written to fault_sweep.csv / .json with
-//      the availability columns (faults injected, ops completed under the
-//      disruption, post-heal recovery latency).
+//   2. faults: 4 protocols x the whole canned fault-scenario library x 50
+//      seeds, replayed single-threaded to prove the reports are
+//      thread-count-invariant, written to fault_sweep.csv / .json with the
+//      availability columns;
+//   3. ref: the shard-merge reference sweep — one run_all batch spanning
+//      fault-plan cells AND a multi-key Zipfian keyspace, with the
+//      streaming checker live on every trial (check_streaming), written to
+//      ref_sweep.csv / .json. This is the sweep the CI parity job runs as
+//      1 process and as N shard processes and byte-diffs.
 //
-//   ./sweep_explorer [threads]
+// Usage:
+//   sweep_explorer [--threads N] [--shard i/N] [--out DIR]
+//                  [--sweep design|faults|ref|all]
+//
+// With --shard i/N (N > 1) the process runs only its deterministic trial
+// slice and writes a partial-aggregate artifact
+// (<out>/<stem>.shard<i>of<N>.partial) instead of reports; sweep_merge
+// folds the N partials into reports bit-identical to the unsharded run.
 #include <cstdio>
-#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "exp/aggregator.h"
+#include "exp/cli.h"
+#include "exp/partial.h"
 #include "exp/runner.h"
 #include "protocols/protocols.h"
 #include "sim/fault_plan.h"
 
-int main(int argc, char** argv) {
-  using namespace mwreg;
+namespace {
 
+using namespace mwreg;
+
+void print_usage(const char* prog) {
+  std::printf("usage: %s %s [--sweep design|faults|ref|all]\n", prog,
+              exp::sweep_cli_usage().c_str());
+}
+
+std::vector<exp::ExperimentSpec> design_specs() {
   exp::ExperimentSpec spec;
   spec.name = "design-space-sweep";
   // fast-read-mw appears twice — GC'd default and full-ack ablation —
@@ -41,38 +62,10 @@ int main(int argc, char** argv) {
   spec.seeds = 100;
   spec.workload.ops_per_writer = 8;
   spec.workload.ops_per_reader = 8;
+  return {spec};
+}
 
-  exp::Runner::Options opts;
-  if (argc > 1) opts.threads = std::atoi(argv[1]);
-  const exp::Runner runner(opts);
-
-  std::printf("running %d trials (%d cells x %d seeds)...\n", spec.trials(),
-              spec.cells(), spec.seeds);
-  const std::vector<exp::TrialResult> results = runner.run(spec);
-  const std::vector<exp::CellStats> cells = exp::aggregate(results);
-
-  std::printf("\n%-26s %-14s %-9s %-10s %-10s %s\n", "protocol", "cluster",
-              "atomic", "write p99", "read p99", "verdict");
-  for (const exp::CellStats& c : cells) {
-    std::printf("%-26s %-14s %3d/%-5d %7.2fms %7.2fms  %s\n",
-                c.protocol.c_str(), c.cfg.to_string().c_str(), c.atomic_trials,
-                c.trials, c.write.p99_ms, c.read.p99_ms,
-                c.matches_expectation()
-                    ? (c.expected_atomic ? "atomic, as guaranteed"
-                                         : "no guarantee claimed")
-                    : "GUARANTEE BROKEN");
-  }
-
-  bool ok = true;
-  for (const exp::CellStats& c : cells) ok = ok && c.matches_expectation();
-  std::printf("\nall atomicity guarantees held: %s\n", ok ? "yes" : "NO!");
-
-  exp::write_report("sweep.csv", exp::to_csv(cells));
-  exp::write_report("sweep.json", exp::to_json(cells));
-  std::printf("wrote sweep.csv and sweep.json (%zu cells)\n", cells.size());
-
-  // ---- fault sweep: protocols x canned scenarios x 50 seeds ----
-
+std::vector<exp::ExperimentSpec> fault_specs() {
   exp::ExperimentSpec faults;
   faults.name = "fault-sweep";
   faults.protocols = {"mw-abd(W2R2)", "fast-read-mw(W2R1)",
@@ -83,11 +76,123 @@ int main(int argc, char** argv) {
   faults.seeds = 50;
   faults.workload.ops_per_writer = 8;
   faults.workload.ops_per_reader = 8;
+  return {faults};
+}
 
+// The shard-merge reference batch: fault plans and a multi-key keyspace
+// cannot share one spec (validation refuses the cross), so the batch holds
+// one spec per axis — the Runner expands a run_all batch as ONE trial
+// sequence, which is exactly what the shard slicing and the merge operate
+// on. Both specs run the streaming checker live.
+std::vector<exp::ExperimentSpec> ref_specs() {
+  exp::ExperimentSpec faults;
+  faults.name = "ref-faults";
+  faults.protocols = {"mw-abd(W2R2)", "fast-read-mw(W2R1)"};
+  faults.clusters = {ClusterConfig{5, 2, 2, 1}};
+  faults.fault_plans = {scenarios::single_crash(), scenarios::crash_recover(),
+                        scenarios::minority_partition()};
+  faults.seed_lo = 1;
+  faults.seeds = 12;
+  faults.workload.ops_per_writer = 6;
+  faults.workload.ops_per_reader = 6;
+  faults.check_streaming = true;
+
+  exp::ExperimentSpec keyed;
+  keyed.name = "ref-keyspace";
+  keyed.protocols = {"mw-abd(W2R2)"};
+  keyed.clusters = {ClusterConfig{5, 4, 4, 1}};
+  keyed.keyspaces = {KeyspaceConfig{8, 2, 0.99}};
+  keyed.seed_lo = 1;
+  keyed.seeds = 12;
+  keyed.workload.ops_per_writer = 6;
+  keyed.workload.ops_per_reader = 6;
+  keyed.check_streaming = true;
+
+  return {faults, keyed};
+}
+
+int total_trials(const std::vector<exp::ExperimentSpec>& specs) {
+  int n = 0;
+  for (const exp::ExperimentSpec& s : specs) n += s.trials();
+  return n;
+}
+
+/// Run one sweep batch in sharded mode: execute this process's slice and
+/// write the partial artifact. Returns false on any failure.
+bool run_shard(const exp::Runner& runner, const std::string& stem,
+               const std::vector<exp::ExperimentSpec>& specs,
+               const exp::ShardSpec& shard, const std::string& out_dir) {
+  const std::vector<exp::TrialResult> slice = runner.run_all(specs);
+  const exp::PartialMeta meta = exp::make_partial_meta(stem, specs, shard);
+  const std::string path =
+      exp::join_path(out_dir, exp::partial_filename(stem, shard));
+  std::string err;
+  if (!exp::save_partial(path, meta, slice, &err)) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return false;
+  }
+  std::printf("%s: shard %s ran %zu of %llu trials -> %s\n", stem.c_str(),
+              shard.to_string().c_str(), slice.size(),
+              static_cast<unsigned long long>(meta.total_trials),
+              path.c_str());
+  return true;
+}
+
+/// Write both report formats; a failed write is a failed sweep (a sharded
+/// CI job must not pass on a missing report).
+bool write_reports(const std::string& stem, const std::string& out_dir,
+                   const std::vector<exp::CellStats>& cells) {
+  const bool csv_ok =
+      exp::write_report(exp::join_path(out_dir, stem + ".csv"),
+                        exp::to_csv(cells));
+  const bool json_ok =
+      exp::write_report(exp::join_path(out_dir, stem + ".json"),
+                        exp::to_json(cells));
+  if (csv_ok && json_ok) {
+    std::printf("wrote %s.csv and %s.json (%zu cells)\n", stem.c_str(),
+                stem.c_str(), cells.size());
+  }
+  return csv_ok && json_ok;
+}
+
+bool run_design(const exp::Runner& runner, const exp::SweepCli& cli) {
+  const std::vector<exp::ExperimentSpec> specs = design_specs();
+  if (cli.shard.sharded()) {
+    return run_shard(runner, "sweep", specs, cli.shard, cli.out_dir);
+  }
+  const exp::ExperimentSpec& spec = specs[0];
+  std::printf("running %d trials (%d cells x %d seeds)...\n", spec.trials(),
+              spec.cells(), spec.seeds);
+  const std::vector<exp::CellStats> cells =
+      exp::aggregate(runner.run_all(specs));
+
+  std::printf("\n%-26s %-14s %-9s %-10s %-10s %s\n", "protocol", "cluster",
+              "atomic", "write p99", "read p99", "verdict");
+  bool ok = true;
+  for (const exp::CellStats& c : cells) {
+    std::printf("%-26s %-14s %3d/%-5d %7.2fms %7.2fms  %s\n",
+                c.protocol.c_str(), c.cfg.to_string().c_str(), c.atomic_trials,
+                c.trials, c.write.p99_ms, c.read.p99_ms,
+                c.matches_expectation()
+                    ? (c.expected_atomic ? "atomic, as guaranteed"
+                                         : "no guarantee claimed")
+                    : "GUARANTEE BROKEN");
+    ok = ok && c.matches_expectation();
+  }
+  std::printf("\nall atomicity guarantees held: %s\n", ok ? "yes" : "NO!");
+  return write_reports("sweep", cli.out_dir, cells) && ok;
+}
+
+bool run_faults(const exp::Runner& runner, const exp::SweepCli& cli) {
+  const std::vector<exp::ExperimentSpec> specs = fault_specs();
+  if (cli.shard.sharded()) {
+    return run_shard(runner, "fault_sweep", specs, cli.shard, cli.out_dir);
+  }
+  const exp::ExperimentSpec& faults = specs[0];
   std::printf("\nrunning fault sweep: %d trials (%d cells x %d seeds)...\n",
               faults.trials(), faults.cells(), faults.seeds);
   const std::vector<exp::CellStats> fault_cells =
-      exp::aggregate(runner.run(faults));
+      exp::aggregate(runner.run_all(specs));
   // The acceptance bar for the fault axis: a single-threaded replay renders
   // byte-identical reports.
   exp::Runner::Options serial;
@@ -99,6 +204,7 @@ int main(int argc, char** argv) {
 
   std::printf("\n%-26s %-20s %-9s %-14s %s\n", "protocol", "fault plan",
               "atomic", "ops in window", "recovery");
+  bool ok = true;
   for (const exp::CellStats& c : fault_cells) {
     std::printf("%-26s %-20s %3d/%-5d %10.1f %10.2fms\n", c.protocol.c_str(),
                 c.fault_plan.c_str(), c.atomic_trials, c.trials,
@@ -107,11 +213,77 @@ int main(int argc, char** argv) {
   }
   std::printf("\nfault-sweep reports identical at 1 and N threads: %s\n",
               parity ? "yes" : "NO!");
-  ok = ok && parity;
+  return write_reports("fault_sweep", cli.out_dir, fault_cells) && ok && parity;
+}
 
-  exp::write_report("fault_sweep.csv", exp::to_csv(fault_cells));
-  exp::write_report("fault_sweep.json", exp::to_json(fault_cells));
-  std::printf("wrote fault_sweep.csv and fault_sweep.json (%zu cells)\n",
-              fault_cells.size());
+bool run_ref(const exp::Runner& runner, const exp::SweepCli& cli) {
+  const std::vector<exp::ExperimentSpec> specs = ref_specs();
+  if (cli.shard.sharded()) {
+    return run_shard(runner, "ref_sweep", specs, cli.shard, cli.out_dir);
+  }
+  std::printf("\nrunning reference sweep: %d trials "
+              "(faults + keyspace, streaming checker live)...\n",
+              total_trials(specs));
+  const std::vector<exp::CellStats> cells =
+      exp::aggregate(runner.run_all(specs));
+  bool ok = true;
+  std::printf("\n%-14s %-26s %-20s %-11s %-9s %s\n", "spec", "protocol",
+              "fault plan / keys", "atomic", "streamed", "peak win");
+  for (const exp::CellStats& c : cells) {
+    const std::string axis = c.keyspace.multi()
+                                 ? c.keyspace.to_string()
+                                 : (c.fault_plan.empty() ? "-" : c.fault_plan);
+    std::printf("%-14s %-26s %-20s %3d/%-7d %3d/%-5d %zu\n",
+                c.spec_name.c_str(), c.protocol.c_str(), axis.c_str(),
+                c.atomic_trials, c.trials, c.stream_atomic_trials, c.trials,
+                c.stream_peak_window);
+    ok = ok && c.matches_expectation() && c.stream_atomic_trials == c.trials;
+  }
+  std::printf("\nreference sweep atomic under the live checker: %s\n",
+              ok ? "yes" : "NO!");
+  return write_reports("ref_sweep", cli.out_dir, cells) && ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::SweepCli cli;
+  std::string err;
+  if (!exp::parse_sweep_cli(argc, argv, &cli, &err)) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    print_usage(argv[0]);
+    return 2;
+  }
+  std::string which = "all";
+  for (std::size_t i = 0; i < cli.extra.size(); ++i) {
+    if (cli.extra[i] == "--sweep" && i + 1 < cli.extra.size()) {
+      which = cli.extra[++i];
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n",
+                   cli.extra[i].c_str());
+      print_usage(argv[0]);
+      return 2;
+    }
+  }
+  if (cli.help) {
+    print_usage(argv[0]);
+    return 0;
+  }
+  if (which != "design" && which != "faults" && which != "ref" &&
+      which != "all") {
+    std::fprintf(stderr, "error: unknown sweep '%s'\n", which.c_str());
+    print_usage(argv[0]);
+    return 2;
+  }
+
+  exp::Runner::Options opts;
+  opts.threads = cli.threads;
+  opts.shard = cli.shard;
+  const exp::Runner runner(opts);
+
+  bool ok = true;
+  if (which == "design" || which == "all") ok = run_design(runner, cli) && ok;
+  if (which == "faults" || which == "all") ok = run_faults(runner, cli) && ok;
+  if (which == "ref" || which == "all") ok = run_ref(runner, cli) && ok;
   return ok ? 0 : 1;
 }

@@ -278,6 +278,34 @@ def steady_alloc_failures(doc):
     return bad
 
 
+# Must match kPartialVersion in src/exp/partial.h (and PARTIAL_VERSION in
+# scripts/merge_shards.py). Artifacts assembled from a sharded sweep
+# fleet stamp the partial format they were merged from as
+# "sweep_partial_version"; unstamped artifacts (the single-process bench
+# path) are exempt.
+SWEEP_PARTIAL_VERSION = 1
+
+
+def partial_version_failures(artifact, baseline):
+    """Refuse to gate across sweep-partial format versions.
+
+    A version skew means one side was produced by binaries whose partial
+    codec this tree cannot read — the numbers may aggregate differently,
+    so a ratio against them is meaningless rather than merely noisy.
+    """
+    bad = []
+    for name, doc in (("artifact", artifact), ("baseline", baseline)):
+        version = doc.get("sweep_partial_version")
+        if version is not None and version != SWEEP_PARTIAL_VERSION:
+            bad.append(
+                "{}: assembled from sweep partials v{}, but this gate "
+                "reads v{} — regenerate with matching binaries".format(
+                    name, version, SWEEP_PARTIAL_VERSION
+                )
+            )
+    return bad
+
+
 def compare(artifact, baseline, max_regression, min_wall_ms=5.0):
     """Return (failures, report_lines).
 
@@ -345,6 +373,8 @@ def compare(artifact, baseline, max_regression, min_wall_ms=5.0):
     for msg in run_length_failures(artifact):
         failures.append(msg)
     for msg in checked_soak_failures(artifact, baseline):
+        failures.append(msg)
+    for msg in partial_version_failures(artifact, baseline):
         failures.append(msg)
     return failures, lines
 
@@ -516,6 +546,15 @@ def self_test():
         _doc({("fr", "S=5"): 4e5, ("abd", "S=3"): 8e6}, steady=3),
         True,
     )
+    # An artifact stamped with the supported sweep-partial version passes;
+    # a foreign version is refused outright (numbers from a codec this
+    # tree cannot read are meaningless to ratio against).
+    stamped = _doc({("fr", "S=5"): 4e5, ("abd", "S=3"): 8e6})
+    stamped["sweep_partial_version"] = SWEEP_PARTIAL_VERSION
+    check("partial-version-ok", stamped, False)
+    foreign = _doc({("fr", "S=5"): 4e5, ("abd", "S=3"): 8e6})
+    foreign["sweep_partial_version"] = SWEEP_PARTIAL_VERSION + 1
+    check("partial-version-skew", foreign, True)
     # Millisecond-scale rows are reported but not hard-gated: at that
     # duration one scheduler preemption exceeds any threshold.
     check(

@@ -43,6 +43,13 @@ SECTIONS = {
 }
 MEDIANED_FIELDS = ("events_per_sec", "wall_ms")
 
+# Must match kPartialVersion in src/exp/partial.h (and PARTIAL_VERSION in
+# scripts/merge_shards.py). Runs assembled from a sharded sweep fleet
+# stamp "sweep_partial_version"; medianing runs produced by different
+# partial codecs would bake a format skew into the baseline, so any
+# stamped run must carry the version this tree supports.
+SWEEP_PARTIAL_VERSION = 1
+
 
 def row_key(section, row):
     return (section,) + tuple(row.get(f, False) for f in SECTIONS[section])
@@ -61,6 +68,15 @@ def merge(docs):
     """Median-merge artifacts into a baseline; raises ValueError on
     mismatched row sets."""
     template = docs[0]
+    for i, doc in enumerate(docs, start=1):
+        version = doc.get("sweep_partial_version")
+        if version is not None and version != SWEEP_PARTIAL_VERSION:
+            raise ValueError(
+                "run {} was assembled from sweep partials v{}, but this "
+                "tree reads v{} — rebaseline with matching binaries".format(
+                    i, version, SWEEP_PARTIAL_VERSION
+                )
+            )
     indexes = [index_rows(d) for d in docs]
     keys = set(indexes[0])
     for i, idx in enumerate(indexes[1:], start=2):
@@ -303,6 +319,25 @@ def self_test():
         check("mismatch-detected", False)
     except ValueError:
         check("mismatch-detected", True)
+    stamped = [_run(100.0, 10.0), _run(500.0, 2.0)]
+    for r in stamped:
+        r["sweep_partial_version"] = SWEEP_PARTIAL_VERSION
+    try:
+        sm = merge(stamped)
+        check(
+            "partial-version-ok",
+            sm["sweep_partial_version"] == SWEEP_PARTIAL_VERSION
+            and sm["workloads"][0]["events_per_sec"] == 300.0,
+        )
+    except ValueError:
+        check("partial-version-ok", False)
+    try:
+        skewed = _run(300.0, 6.0)
+        skewed["sweep_partial_version"] = SWEEP_PARTIAL_VERSION + 1
+        merge([stamped[0], skewed])
+        check("partial-version-skew", False)
+    except ValueError:
+        check("partial-version-skew", True)
     print("self-test " + ("passed" if ok else "FAILED"))
     return 0 if ok else 1
 

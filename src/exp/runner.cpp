@@ -280,6 +280,54 @@ std::vector<TrialResult> Runner::run(const ExperimentSpec& spec) const {
   return run_all({spec});
 }
 
+ExpansionInfo expansion_info(const std::vector<ExperimentSpec>& specs) {
+  for (const ExperimentSpec& spec : specs) {
+    const std::string err = spec.validate();
+    if (!err.empty()) {
+      throw std::invalid_argument("ExperimentSpec '" + spec.name + "': " + err);
+    }
+  }
+  const std::vector<PendingTrial> pending = expand(specs);
+  ExpansionInfo info;
+  info.total_trials = pending.size();
+  std::uint64_t h = 14695981039346656037ULL;
+  auto mix = [&h](std::uint64_t v) { h = (h ^ v) * 1099511628211ULL; };
+  auto mix_str = [&mix](const std::string& s) {
+    mix(s.size());
+    for (char c : s) mix(static_cast<unsigned char>(c));
+  };
+  for (const ExperimentSpec& spec : specs) {
+    // Everything besides the cell identity that shapes a trial's numbers:
+    // the workload shape and the result-identical engine knobs (the latter
+    // so a per-message shard is never merged into a coalesced run even
+    // though both would render the same report when complete).
+    mix_str(spec.name);
+    mix(static_cast<std::uint64_t>(spec.workload.ops_per_writer));
+    mix(static_cast<std::uint64_t>(spec.workload.ops_per_reader));
+    mix(static_cast<std::uint64_t>(spec.workload.think_lo));
+    mix(static_cast<std::uint64_t>(spec.workload.think_hi));
+    mix(static_cast<std::uint64_t>(spec.workload.crash_servers));
+    mix(static_cast<std::uint64_t>(spec.workload.crash_after_ops));
+    mix(static_cast<std::uint64_t>(spec.table_clients));
+    mix(static_cast<std::uint64_t>(spec.fifo));
+    mix(static_cast<std::uint64_t>(spec.coalesce));
+    mix(static_cast<std::uint64_t>(spec.tick));
+    mix(static_cast<std::uint64_t>(spec.dest_major));
+    mix(static_cast<std::uint64_t>(spec.check_graph));
+    mix(static_cast<std::uint64_t>(spec.check_streaming));
+  }
+  for (const PendingTrial& t : pending) {
+    // derive_seed(user_seed, cell_digest) already folds in the protocol,
+    // cluster, fault plan, and keyspace — the full cell identity.
+    KeyspaceConfig ks;
+    if (t.keyspace != nullptr) ks = *t.keyspace;
+    mix(derive_seed(t.user_seed,
+                    cell_digest(*t.protocol, *t.cfg, t.plan, ks)));
+  }
+  info.digest = h;
+  return info;
+}
+
 std::vector<TrialResult> Runner::run_all(
     const std::vector<ExperimentSpec>& specs) const {
   for (const ExperimentSpec& spec : specs) {
@@ -288,7 +336,26 @@ std::vector<TrialResult> Runner::run_all(
       throw std::invalid_argument("ExperimentSpec '" + spec.name + "': " + err);
     }
   }
-  const std::vector<PendingTrial> pending = expand(specs);
+  if (!opts_.shard.valid()) {
+    throw std::invalid_argument("invalid shard spec " + opts_.shard.to_string());
+  }
+  const std::vector<PendingTrial> expanded = expand(specs);
+  // A process's slice of the expansion order: global index i belongs to
+  // shard i % count. Trial results depend only on the cell and user seed
+  // (derive_seed sub-seeding), never on slice composition, so the N slices
+  // partition the single-process result set exactly.
+  std::vector<std::uint64_t> indices;
+  indices.reserve(opts_.shard.sharded()
+                      ? expanded.size() / opts_.shard.count + 1
+                      : expanded.size());
+  for (std::size_t i = 0; i < expanded.size(); ++i) {
+    if (static_cast<int>(i % opts_.shard.count) == opts_.shard.index) {
+      indices.push_back(i);
+    }
+  }
+  std::vector<PendingTrial> pending;
+  pending.reserve(indices.size());
+  for (std::uint64_t i : indices) pending.push_back(expanded[i]);
   std::vector<TrialResult> results(pending.size());
 
   // Work stealing off a shared counter: each worker claims the next
@@ -310,6 +377,7 @@ std::vector<TrialResult> Runner::run_all(
         results[i] = run_trial(*t.spec, t.spec_index, t.cell_index,
                                *t.protocol, *t.cfg, t.user_seed, t.plan,
                                t.keyspace);
+        results[i].trial_index = indices[i];
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mu);
         if (!first_error) first_error = std::current_exception();

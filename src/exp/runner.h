@@ -21,6 +21,12 @@ namespace mwreg::exp {
 
 /// Outcome of one (protocol, cluster, fault plan, seed) simulation.
 struct TrialResult {
+  /// Position in the Runner's deterministic expansion order across the
+  /// whole run()/run_all() batch. Under a ShardSpec only the shard's own
+  /// slots are executed, and this index is what lets merge_partials()
+  /// (exp/partial.h) put every trial back where the single-process run
+  /// would have produced it.
+  std::uint64_t trial_index = 0;
   int spec_index = 0;   ///< which spec in the run() batch
   int cell_index = 0;   ///< global cell ordinal across the batch
   std::string spec_name;
@@ -62,29 +68,70 @@ struct TrialResult {
   }
 };
 
+/// Deterministic trial slice for multi-process sweeps: a process with
+/// shard {i, N} executes exactly the trials whose expansion-order index
+/// satisfies index % N == i. Because a trial's RNG stream is
+/// derive_seed(user_seed, cell_digest) — a function of what the cell IS,
+/// never of which process runs it — the union of all N shards is
+/// bit-identical to the single-process run (see exp/partial.h for the
+/// merge half).
+struct ShardSpec {
+  int index = 0;
+  int count = 1;
+
+  [[nodiscard]] bool sharded() const { return count > 1; }
+  [[nodiscard]] bool valid() const {
+    return count >= 1 && index >= 0 && index < count;
+  }
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(index) + "/" + std::to_string(count);
+  }
+};
+
 class Runner {
  public:
   struct Options {
     /// Worker threads; 0 means std::thread::hardware_concurrency()
     /// (at least 1). 1 runs everything inline on the calling thread.
     int threads = 0;
+    /// Trial slice this process owns. The default {0, 1} runs everything.
+    ShardSpec shard;
   };
 
   Runner() : Runner(Options{}) {}
   explicit Runner(Options opts);
 
-  /// Run every trial of `spec`. Throws std::invalid_argument when
-  /// spec.validate() fails. Results are in expansion order.
+  /// Run this shard's slice of `spec`'s trials. Throws
+  /// std::invalid_argument when spec.validate() fails or the shard spec is
+  /// malformed. Results are in expansion order; under a real shard
+  /// ({i, N>1}) only the slice's trials are returned (still ordered), each
+  /// carrying its global TrialResult::trial_index.
   [[nodiscard]] std::vector<TrialResult> run(const ExperimentSpec& spec) const;
 
   /// Run a batch of specs as one trial pool (better load balancing than
-  /// sequential run() calls when specs are skewed).
+  /// sequential run() calls when specs are skewed). Sharding slices the
+  /// batch-wide expansion order.
   [[nodiscard]] std::vector<TrialResult> run_all(
       const std::vector<ExperimentSpec>& specs) const;
 
  private:
   Options opts_;
 };
+
+/// Identity of a spec batch's full expansion, independent of sharding.
+struct ExpansionInfo {
+  std::uint64_t total_trials = 0;
+  /// Digest over every trial's harness seed plus the workload/engine knobs
+  /// that shape results. Two shards may only be merged when their digests
+  /// agree: equal digests mean the shards executed slices of the same
+  /// expansion, so the merged report is the single-process report.
+  std::uint64_t digest = 0;
+};
+
+/// Compute the expansion identity of a batch (any shard can: expansion is
+/// a pure function of the specs). Throws std::invalid_argument on an
+/// invalid spec, like Runner::run_all.
+ExpansionInfo expansion_info(const std::vector<ExperimentSpec>& specs);
 
 /// Execute a single trial inline (no threads). The Runner is implemented on
 /// top of this; exposed for tests and for callers that need one history.
